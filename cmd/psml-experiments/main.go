@@ -1,0 +1,66 @@
+// Command psml-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	psml-experiments -list
+//	psml-experiments -run fig10
+//	psml-experiments -run all [-full] [-seed 7] [-batches 8]
+//
+// Quick mode (default) schedules a representative batch subset per run
+// and scales linearly; -full schedules every batch of every dataset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"parsecureml/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "all", "experiment ID to run, or 'all'")
+	full := flag.Bool("full", false, "schedule every batch (slow) instead of quick-mode scaling")
+	seed := flag.Uint64("seed", 1, "random seed for synthetic data and shares")
+	batches := flag.Int("batches", 4, "representative batches per run in quick mode")
+	csvDir := flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{Quick: !*full, QuickBatches: *batches, Seed: *seed}
+
+	var todo []bench.Experiment
+	if *run == "all" {
+		todo = bench.All()
+	} else {
+		e, ok := bench.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+			os.Exit(1)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		table := e.Run(opts)
+		fmt.Println(table)
+		fmt.Printf("(harness wall time: %.2fs)\n\n", time.Since(start).Seconds())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

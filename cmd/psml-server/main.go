@@ -1,0 +1,89 @@
+// Command psml-server runs one computation party of the two-party
+// framework as a standalone network service — the deployment shape of
+// Fig. 1b with TCP in place of the paper's MPI. Start two servers, wire
+// them to each other, and point a client (examples/two_servers, or any
+// program using mpc.RequestMul's frame protocol) at both:
+//
+//	psml-server -party 0 -listen :9100 -peer-listen :9200 &
+//	psml-server -party 1 -listen :9101 -peer-dial 127.0.0.1:9200 &
+//
+// Each accepted client connection is served until it disconnects; the
+// servers verify each other's party index with a handshake. Neither
+// process ever holds more than additive shares of the client's data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"parsecureml/internal/comm"
+	"parsecureml/internal/mpc"
+)
+
+func main() {
+	party := flag.Int("party", 0, "party index: 0 or 1")
+	listen := flag.String("listen", ":9100", "address for client connections")
+	peerListen := flag.String("peer-listen", "", "listen for the peer server on this address")
+	peerDial := flag.String("peer-dial", "", "connect to the peer server at this address")
+	flag.Parse()
+
+	if *party != 0 && *party != 1 {
+		log.Fatalf("party must be 0 or 1")
+	}
+	if (*peerListen == "") == (*peerDial == "") {
+		log.Fatalf("exactly one of -peer-listen / -peer-dial is required")
+	}
+
+	// Establish the inter-server link first (the paper's server1<->server2
+	// InfiniBand edge).
+	var peer *comm.Conn
+	var err error
+	if *peerListen != "" {
+		ln, err := comm.Listen(*peerListen)
+		if err != nil {
+			log.Fatalf("peer listen: %v", err)
+		}
+		log.Printf("party %d waiting for peer on %s", *party, *peerListen)
+		peer, err = comm.Accept(ln)
+		if err != nil {
+			log.Fatalf("peer accept: %v", err)
+		}
+		ln.Close()
+	} else {
+		peer, err = comm.Dial(*peerDial)
+		if err != nil {
+			log.Fatalf("peer dial: %v", err)
+		}
+	}
+	if err := mpc.WriteHello(peer, *party); err != nil {
+		log.Fatalf("peer hello: %v", err)
+	}
+	peerParty, err := mpc.ReadHello(peer)
+	if err != nil {
+		log.Fatalf("peer hello: %v", err)
+	}
+	if peerParty == *party {
+		log.Fatalf("both servers claim party %d", *party)
+	}
+	log.Printf("party %d linked to peer (party %d)", *party, peerParty)
+
+	ln, err := comm.Listen(*listen)
+	if err != nil {
+		log.Fatalf("client listen: %v", err)
+	}
+	fmt.Printf("psml-server party %d serving clients on %s\n", *party, *listen)
+	for {
+		client, err := comm.Accept(ln)
+		if err != nil {
+			log.Fatalf("client accept: %v", err)
+		}
+		log.Printf("party %d: client session start", *party)
+		if err := mpc.ServeLoop(*party, client, peer); err != nil {
+			log.Printf("party %d: session error: %v", *party, err)
+		} else {
+			log.Printf("party %d: client session done", *party)
+		}
+		client.Close()
+	}
+}

@@ -1,0 +1,165 @@
+// Command psml-train trains one of the paper's six models under two-party
+// computation on a synthetic dataset, with real arithmetic, and reports
+// accuracy (secure vs plaintext), the modeled offline/online time split on
+// the paper's platform, and communication statistics.
+//
+// Usage:
+//
+//	psml-train -model MLP -dataset MNIST -samples 256 -epochs 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parsecureml"
+
+	"parsecureml/internal/dataset"
+	"parsecureml/internal/ml"
+)
+
+func main() {
+	modelName := flag.String("model", "MLP", "CNN | MLP | RNN | linear | logistic | SVM")
+	dsName := flag.String("dataset", "MNIST", "MNIST | VGGFace2 | NIST | CIFAR-10 | SYNTHETIC")
+	samples := flag.Int("samples", 256, "synthetic samples to train on")
+	batch := flag.Int("batch", 64, "batch size")
+	epochs := flag.Int("epochs", 20, "training epochs")
+	lr := flag.Float64("lr", 0.3, "learning rate")
+	seed := flag.Uint64("seed", 1, "random seed")
+	baselineCfg := flag.Bool("secureml-baseline", false, "use the CPU-only SecureML baseline configuration")
+	tracePath := flag.String("trace", "", "write a chrome://tracing timeline of the run to this file")
+	savePath := flag.String("save", "", "write the securely trained model to this file")
+	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the modeled timeline")
+	flag.Parse()
+
+	spec, err := dataset.ByName(*dsName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Keep real arithmetic tractable: cap the feature width, preserving
+	// the dataset's sparsity profile.
+	if spec.InDim() > 784 {
+		fmt.Printf("note: reducing %s to a 28x28 proxy for real-arithmetic training\n", spec.Name)
+		spec.H, spec.W = 28, 28
+		if spec.SeqSteps > 0 {
+			spec.SeqSteps = 28
+		}
+	}
+
+	cfg := parsecureml.DefaultConfig()
+	if *baselineCfg {
+		cfg = parsecureml.SecureMLBaselineConfig()
+	}
+	cfg.Seed = *seed
+	fw := parsecureml.New(cfg)
+
+	r := parsecureml.NewRand(*seed)
+	var plain *parsecureml.Model
+	loss := parsecureml.MSE
+	var x, y *parsecureml.Matrix
+	switch *modelName {
+	case "CNN":
+		plain = parsecureml.NewCNN(spec.H, spec.W, 4, r)
+	case "MLP":
+		plain = parsecureml.NewMLP(spec.InDim(), r)
+	case "RNN":
+		if spec.SeqSteps == 0 {
+			spec.SeqSteps = spec.H
+		}
+		plain = parsecureml.NewRNNModel(spec.W, 32, spec.SeqSteps, r)
+	case "linear":
+		plain = parsecureml.NewLinearRegression(spec.InDim(), r)
+	case "logistic":
+		plain = parsecureml.NewLogisticRegression(spec.InDim(), r)
+	case "SVM":
+		plain = parsecureml.NewSVM(spec.InDim(), r)
+		loss = parsecureml.Hinge
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+		os.Exit(1)
+	}
+
+	n := (*samples / *batch) * *batch
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "samples must be >= batch")
+		os.Exit(1)
+	}
+	switch *modelName {
+	case "linear":
+		x, y = dataset.Regression(spec, n, *seed)
+	case "SVM":
+		x, y = dataset.Binary(spec, n, *seed, true)
+	case "logistic":
+		x, y = dataset.Binary(spec, n, *seed, false)
+	default:
+		var labels []int
+		x, labels = dataset.Classification(spec, n, *seed)
+		y = parsecureml.OneHot(labels, plain.OutDim())
+	}
+
+	var xs, ys []*parsecureml.Matrix
+	for lo := 0; lo+*batch <= n; lo += *batch {
+		xs = append(xs, x.SliceRows(lo, lo+*batch))
+		ys = append(ys, y.SliceRows(lo, lo+*batch))
+	}
+
+	fmt.Printf("training %s on %s-shaped data: %d samples, batch %d, %d epochs\n",
+		*modelName, spec.Name, n, *batch, *epochs)
+	secure := fw.Secure(plain, loss)
+	secure.Prepare(xs, ys)
+	secure.TrainEpochs(*epochs, float32(*lr))
+
+	// Reveal the trained weights back into the plaintext architecture
+	// (the client's final model download).
+	trained := plain
+	secure.RevealInto(trained)
+	switch *modelName {
+	case "linear":
+		fmt.Printf("final (revealed) model ready; regression target\n")
+	case "SVM":
+		fmt.Printf("secure accuracy: %.3f\n", parsecureml.BinaryAccuracy(trained.Predict(x), y, false))
+	case "logistic":
+		fmt.Printf("secure accuracy: %.3f\n", parsecureml.BinaryAccuracy(trained.Predict(x), y, true))
+	default:
+		fmt.Printf("secure accuracy: %.3f\n", parsecureml.Accuracy(trained.Predict(x), y))
+	}
+
+	ph := secure.Phases()
+	fmt.Printf("modeled time on the paper platform: offline %.3fs, online %.3fs, total %.3fs (occupancy %.1f%%)\n",
+		ph.Offline, ph.Online, ph.Total, 100*ph.Occupancy())
+	wire, dense, csr := fw.TrafficStats()
+	fmt.Printf("inter-server traffic: %d B on the wire (dense-only: %d B, %d compressed sends, %.1f%% saved)\n",
+		wire, dense, csr, 100*(1-float64(wire)/float64(dense)))
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := ml.Save(f, trained); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("trained model written to %s\n", *savePath)
+	}
+	if *gantt {
+		fmt.Println(fw.Engine().GanttString(100))
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := fw.Engine().WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace written to %s (open in chrome://tracing or Perfetto)\n", *tracePath)
+	}
+}

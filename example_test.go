@@ -1,0 +1,48 @@
+package parsecureml_test
+
+import (
+	"fmt"
+
+	"parsecureml"
+)
+
+// A single protected multiplication: the client's matrices are split into
+// additive shares, the servers run the Beaver protocol, and the merged
+// product matches plaintext within float tolerance.
+func ExampleFramework_SecureMatMul() {
+	cfg := parsecureml.DefaultConfig()
+	cfg.TensorCores = false
+	fw := parsecureml.New(cfg)
+
+	a := parsecureml.MatrixFromSlice(2, 2, []float32{1, 2, 3, 4})
+	b := parsecureml.MatrixFromSlice(2, 2, []float32{5, 6, 7, 8})
+	c, _ := fw.SecureMatMul("example", a, b)
+
+	fmt.Printf("%.0f %.0f\n", c.At(0, 0), c.At(0, 1))
+	fmt.Printf("%.0f %.0f\n", c.At(1, 0), c.At(1, 1))
+	// Output:
+	// 19 22
+	// 43 50
+}
+
+// Secure training end to end: prepare the offline material, run SGD on
+// shares, and reveal the trained model to the client.
+func ExampleFramework_Secure() {
+	cfg := parsecureml.SecureMLBaselineConfig()
+	fw := parsecureml.New(cfg)
+
+	plain := parsecureml.NewLinearRegression(2, parsecureml.NewRand(1))
+	model := fw.Secure(plain, parsecureml.MSE)
+
+	// y = x0 + 2*x1, four samples.
+	x := parsecureml.MatrixFromSlice(4, 2, []float32{1, 0, 0, 1, 1, 1, 2, 1})
+	y := parsecureml.MatrixFromSlice(4, 1, []float32{1, 2, 3, 4})
+	model.Prepare([]*parsecureml.Matrix{x}, []*parsecureml.Matrix{y})
+	model.TrainEpochs(400, 0.2)
+
+	model.RevealInto(plain)
+	pred := plain.Predict(x)
+	fmt.Printf("max error %.2f\n", pred.MaxAbsDiff(y))
+	// Output:
+	// max error 0.00
+}

@@ -1,0 +1,70 @@
+// Credit scoring (the paper's corporate-secret-protection motivation): a
+// lender trains a logistic-regression risk model on customer records that
+// regulation forbids it from handing to any single cloud provider. The
+// records are split into shares across two non-colluding servers; training
+// runs entirely on shares, and only the lender recovers the model.
+//
+// The demo trains securely across several epochs with real arithmetic,
+// shows the trained model matches an in-house (plaintext) training run,
+// and reports how the compressed transmission cuts inter-server traffic
+// as gradients sparsify.
+package main
+
+import (
+	"fmt"
+
+	"parsecureml"
+
+	"parsecureml/internal/dataset"
+)
+
+func main() {
+	const (
+		applicants = 384
+		features   = 64
+		batch      = 64
+		epochs     = 40
+		lr         = 0.4
+		seed       = 23
+	)
+	spec := dataset.Spec{Name: "credit", H: 8, W: 8, Classes: 2, Density: 0.9}
+	x, y := dataset.Binary(spec, applicants, seed, false) // 0 = repaid, 1 = default
+
+	var xs, ys []*parsecureml.Matrix
+	for lo := 0; lo+batch <= applicants; lo += batch {
+		xs = append(xs, x.SliceRows(lo, lo+batch))
+		ys = append(ys, y.SliceRows(lo, lo+batch))
+	}
+
+	cfg := parsecureml.DefaultConfig()
+	cfg.TensorCores = false
+	cfg.Seed = seed
+	fw := parsecureml.New(cfg)
+
+	model := parsecureml.NewLogisticRegression(features, parsecureml.NewRand(seed))
+	inHouse := parsecureml.NewLogisticRegression(features, parsecureml.NewRand(seed))
+
+	secure := fw.Secure(model, parsecureml.MSE)
+	secure.Prepare(xs, ys)
+	secure.TrainEpochs(epochs, lr)
+	for e := 0; e < epochs; e++ {
+		for b := range xs {
+			inHouse.TrainBatch(xs[b], ys[b], lr)
+		}
+	}
+
+	trained := parsecureml.NewLogisticRegression(features, parsecureml.NewRand(seed))
+	secure.RevealInto(trained)
+
+	secAcc := parsecureml.BinaryAccuracy(trained.Predict(x), y, true)
+	refAcc := parsecureml.BinaryAccuracy(inHouse.Predict(x), y, true)
+	fmt.Printf("risk model on %d applicants × %d features\n", applicants, features)
+	fmt.Printf("accuracy: secure %.3f vs in-house plaintext %.3f\n", secAcc, refAcc)
+
+	ph := secure.Phases()
+	fmt.Printf("modeled time on the paper platform: offline %.3fs, online %.3fs\n", ph.Offline, ph.Online)
+	wire, dense, csr := fw.TrafficStats()
+	fmt.Printf("inter-server traffic over %d epochs: %d B sent vs %d B dense-only (%.1f%% saved, %d CSR frames)\n",
+		epochs, wire, dense, 100*(1-float64(wire)/float64(dense)), csr)
+	fmt.Println("neither server ever held a complete applicant record or the model")
+}

@@ -1,0 +1,119 @@
+// Two servers: the wire-complete deployment. Unlike the other examples —
+// which simulate the cluster on modeled timelines — this one runs the two
+// computation parties as genuinely concurrent TCP services on localhost
+// (the role the paper's MPI layer plays), drives several secure
+// multiplications through them from a client, and verifies every product.
+// Swap the goroutines for two `psml-server` processes on different
+// machines and the bytes on the wire are identical.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parsecureml"
+
+	"parsecureml/internal/comm"
+	"parsecureml/internal/mpc"
+)
+
+func main() {
+	// Inter-server link (server0 listens, server1 dials).
+	peerLn, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	peerAddr := peerLn.Addr().String()
+
+	// Client-facing listeners.
+	ln0, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln1, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Server 0.
+	go func() {
+		peer, err := comm.Accept(peerLn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		client, err := comm.Accept(ln0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mpc.ServeLoop(0, client, peer); err != nil {
+			log.Printf("server 0: %v", err)
+		}
+	}()
+	// Server 1.
+	go func() {
+		peer, err := comm.Dial(peerAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		client, err := comm.Accept(ln1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mpc.ServeLoop(1, client, peer); err != nil {
+			log.Printf("server 1: %v", err)
+		}
+	}()
+
+	// Client: split inputs, upload shares, receive merged products.
+	c0, err := comm.Dial(ln0.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	c1, err := comm.Dial(ln1.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c0.Close()
+	defer c1.Close()
+
+	deployment := parsecureml.New(parsecureml.SecureMLBaselineConfig())
+	client := deployment.Deployment().Client
+	r := parsecureml.NewRand(99)
+
+	fmt.Println("two live TCP servers; client drives 3 secure multiplications:")
+	for round := 0; round < 3; round++ {
+		m, k, n := 64+round*16, 96, 32
+		a := parsecureml.NewMatrix(m, k)
+		b := parsecureml.NewMatrix(k, n)
+		for i := range a.Data {
+			a.Data[i] = r.Float32() - 0.5
+		}
+		for i := range b.Data {
+			b.Data[i] = r.Float32() - 0.5
+		}
+		in0, in1 := mpc.RemoteClientSplit(a, b, client)
+		got, err := mpc.RequestMul(c0, c1, in0, in1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Verify against plaintext.
+		var maxDiff float64
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var acc float64
+				for p := 0; p < k; p++ {
+					acc += float64(a.At(i, p)) * float64(b.At(p, j))
+				}
+				d := float64(got.At(i, j)) - acc
+				if d < 0 {
+					d = -d
+				}
+				if d > maxDiff {
+					maxDiff = d
+				}
+			}
+		}
+		fmt.Printf("  round %d: %dx%d x %dx%d over TCP, max error %.3g\n", round, m, k, k, n, maxDiff)
+	}
+	fmt.Println("all products verified; servers saw only shares and masked E/F frames")
+}

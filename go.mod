@@ -1,0 +1,3 @@
+module parsecureml
+
+go 1.22

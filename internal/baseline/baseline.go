@@ -1,0 +1,58 @@
+// Package baseline provides the two comparison systems of the evaluation:
+//
+//  1. "Original" (security-ignorant) machine learning — the same model
+//     architectures running without any protocol, timed on the CPU
+//     (Table 1's "Original" column) or on a GPU with resident weights
+//     (Table 2's "GPU time" column). Costs are assembled from the models'
+//     operation metadata (ml.Op) against the hardware models, with the
+//     per-batch input transfer and kernel launches charged for the GPU.
+//
+//  2. SecureML [10] — the paper's baseline 2PC framework, which the
+//     authors also re-implemented (it is closed source). It is the same
+//     protocol without any of ParSecureML's contributions: CPU-only
+//     servers, serial CPU, no transfer pipeline, no compression. The
+//     runner wraps internal/secureml with mpc.SecureMLConfig.
+package baseline
+
+import (
+	"parsecureml/internal/hw"
+	"parsecureml/internal/ml"
+)
+
+// OriginalCPUTime models one pass of the given operations on the paper's
+// CPU. parallel=false matches the implementation style of the Table 1
+// comparison (the paper's original/SecureML codebases are both serial
+// CPU); parallel=true is a BLAS-grade bound.
+func OriginalCPUTime(p hw.Platform, ops []ml.Op, parallel bool) float64 {
+	var t float64
+	for _, o := range ops {
+		switch o.Kind {
+		case ml.OpGemm:
+			t += p.CPU.GemmTime(o.M, o.K, o.N, parallel)
+		case ml.OpElem:
+			t += p.CPU.ElemwiseTime(o.Bytes, parallel)
+		}
+	}
+	return t
+}
+
+// OriginalGPUTime models one pass on a resident-weight GPU: every GEMM and
+// element-wise op runs as a kernel; inputBytes (the batch) crosses PCIe
+// once per pass (weights stay on the device, as in any ordinary framework).
+func OriginalGPUTime(p hw.Platform, ops []ml.Op, inputBytes int) float64 {
+	t := p.PCIe.TransferTime(inputBytes)
+	for _, o := range ops {
+		switch o.Kind {
+		case ml.OpGemm:
+			t += p.GPU.GemmTime(o.M, o.K, o.N, false)
+		case ml.OpElem:
+			t += p.GPU.ElemwiseTime(o.Bytes)
+		}
+	}
+	return t
+}
+
+// TrainingTime scales a per-batch pass to a full run.
+func TrainingTime(perBatch float64, batches, epochs int) float64 {
+	return perBatch * float64(batches) * float64(epochs)
+}

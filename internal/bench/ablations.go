@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"parsecureml/internal/dataset"
+	"parsecureml/internal/fixed"
+	"parsecureml/internal/hw"
+	"parsecureml/internal/profile"
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+// AblationPipeline (A1 in DESIGN.md) isolates the double pipeline: the
+// full system with and without the Fig. 5 transfer overlap + Fig. 6
+// cross-layer reconstruct overlap.
+func AblationPipeline(opts Options) Table {
+	t := Table{
+		ID:     "ablation-pipeline",
+		Title:  "Ablation: double pipeline on/off (full system otherwise)",
+		Header: []string{"Dataset", "Model", "no pipeline (s)", "pipeline (s)", "improvement"},
+	}
+	cells := []workload{
+		{"MLP", dataset.MNIST},
+		{"CNN", dataset.MNIST},
+		{"MLP", dataset.VGGFace2},
+		{"RNN", dataset.Synthetic},
+	}
+	for _, w := range cells {
+		on := parSecureMLConfig(opts.Seed)
+		off := parSecureMLConfig(opts.Seed)
+		off.Pipeline = false
+		with := runSecure(w, on, opts, false).Phases.Online
+		without := runSecure(w, off, opts, false).Phases.Online
+		t.Rows = append(t.Rows, []string{
+			w.spec.Name, w.model, f2(without), f2(with), pct(1 - with/without),
+		})
+	}
+	return t
+}
+
+// AblationDomain (A2) compares the paper's FP32 share domain against the
+// cryptographically faithful Z_2^64 fixed-point domain of SecureML on the
+// online triplet multiplication, with real wall-clock timing on this
+// machine — the cost of soundness.
+func AblationDomain(opts Options) Table {
+	t := Table{
+		ID:     "ablation-domain",
+		Title:  "Ablation: float vs ring (Z_2^64) share domain, online C_i (wall clock)",
+		Header: []string{"n", "float (ms)", "ring (ms)", "ring/float"},
+		Notes:  "float is the paper's released domain; ring is SecureML-faithful (internal/fixed)",
+	}
+	r := rng.NewRand(opts.Seed)
+	for _, n := range []int{64, 128, 256} {
+		// Float domain: D×F + E×B + Z with tensor kernels.
+		e := tensor.New(n, n)
+		f := tensor.New(n, n)
+		ai := tensor.New(n, n)
+		bi := tensor.New(n, n)
+		zi := tensor.New(n, n)
+		for _, m := range []*tensor.Matrix{e, f, ai, bi, zi} {
+			for i := range m.Data {
+				m.Data[i] = r.Float32() - 0.5
+			}
+		}
+		// Best of three timed runs after one warm-up (stabilizes the
+		// goroutine pool and caches).
+		bestOf := func(fn func()) float64 {
+			fn()
+			best := -1.0
+			for i := 0; i < 3; i++ {
+				start := time.Now()
+				fn()
+				if d := float64(time.Since(start)) / 1e6; best < 0 || d < best {
+					best = d
+				}
+			}
+			return best
+		}
+		floatMS := bestOf(func() {
+			c := tensor.MulTo(ai, f)
+			eb := tensor.MulTo(e, bi)
+			tensor.Add(c, c, eb)
+			tensor.Add(c, c, zi)
+		})
+
+		// Ring domain: same shape through fixed.MulShares.
+		re := fixed.EncodeMatrix(e)
+		rf := fixed.EncodeMatrix(f)
+		ra := fixed.EncodeMatrix(ai)
+		rb := fixed.EncodeMatrix(bi)
+		rz := fixed.EncodeMatrix(zi)
+		ringMS := bestOf(func() {
+			fixed.MulShares(1, re, rf, ra, rb, rz)
+		})
+
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), f2(floatMS), f2(ringMS), f2(ringMS / floatMS),
+		})
+	}
+	return t
+}
+
+// AblationAdaptive (A3) compares placement policies over a mixed bag of
+// GEMM sizes: always-CPU, always-GPU, and the profiling-guided adaptive
+// advisor (§4.2). The adaptive policy must never lose to either fixed
+// policy.
+func AblationAdaptive(opts Options) Table {
+	p := hw.Paper()
+	adv := profile.NewAdvisor(p, true)
+	sizes := []int{16, 64, 128, 256, 512, 1024, 2048, 4096}
+
+	cost := func(n int, place profile.Placement) float64 {
+		if place == profile.CPU {
+			return p.CPU.GemmTime(n, n, n, true)
+		}
+		return p.GPU.GemmTime(n, n, n, true) + 3*p.PCIe.TransferTime(4*n*n)
+	}
+	var cpuTotal, gpuTotal, adaptTotal float64
+	rows := [][]string{}
+	for _, n := range sizes {
+		c := cost(n, profile.CPU)
+		g := cost(n, profile.GPU)
+		choice := adv.Gemm(n, n, n)
+		a := cost(n, choice)
+		cpuTotal += c
+		gpuTotal += g
+		adaptTotal += a
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n), f2(c * 1e3), f2(g * 1e3), choice.String(),
+		})
+	}
+	rows = append(rows, []string{"total(ms)", f2(cpuTotal * 1e3), f2(gpuTotal * 1e3),
+		fmt.Sprintf("adaptive %s", f2(adaptTotal*1e3))})
+	return Table{
+		ID:     "ablation-adaptive",
+		Title:  "Ablation: adaptive vs fixed placement over mixed GEMM sizes",
+		Header: []string{"n", "CPU (ms)", "GPU+PCIe (ms)", "adaptive choice"},
+		Rows:   rows,
+		Notes:  fmt.Sprintf("crossover at n=%d; adaptive total <= min(fixed)", adv.CrossoverDim(1, 8192)),
+	}
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+
+	"parsecureml/internal/gpu"
+	"parsecureml/internal/hw"
+	"parsecureml/internal/simtime"
+	"parsecureml/internal/tensor"
+)
+
+// Figure7 reproduces Fig. 7: generating an n×n uniform matrix with
+// thread-local MT19937 on the CPU versus cuRAND on the GPU (including the
+// PCIe copy of the result to the host, where the framework needs it). The
+// paper's takeaway: the GPU only wins for large matrices, so ParSecureML
+// keeps random generation on the CPU (§5.1).
+func Figure7(opts Options) Table {
+	p := hw.Paper()
+	t := Table{
+		ID:     "fig7",
+		Title:  "Random matrix generation: CPU MT19937 vs GPU cuRAND (+PCIe)",
+		Header: []string{"n", "CPU (ms)", "GPU (ms)", "winner"},
+		Notes:  "paper Fig. 7: CPU wins at small n; crossover appears only at very large matrices",
+	}
+	for _, n := range []int{256, 512, 1024, 2048, 4096, 8192, 16384} {
+		elems := n * n
+		cpu := p.CPU.RandTime(elems, true)
+		gpuT := p.GPU.RandTime(elems) + p.PCIe.TransferTime(4*elems)
+		winner := "CPU"
+		if gpuT < cpu {
+			winner = "GPU"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), f2(cpu * 1e3), f2(gpuT * 1e3), winner,
+		})
+	}
+	return t
+}
+
+// Figure8 reproduces Fig. 8: the fraction of total GPU activity spent in
+// GEMM kernels as the matrix dimension grows, measured with the device's
+// nvprof-style profiler over one H2D + GEMM + D2H round trip (the paper's
+// §5.2 motivation for optimizing GEMM with Tensor Cores).
+func Figure8(opts Options) Table {
+	prev := tensor.SetCompute(false)
+	defer tensor.SetCompute(prev)
+
+	t := Table{
+		ID:     "fig8",
+		Title:  "GEMM share of GPU activity vs matrix dimension",
+		Header: []string{"n", "GEMM time %", "copy time %"},
+		Notes:  "paper Fig. 8: GEMM share grows with n, exceeding 50% at n=16384",
+	}
+	for _, n := range []int{1024, 2048, 4096, 8192, 16384} {
+		eng := simtime.NewEngine()
+		dev := gpu.New("gpu0", hw.Paper(), eng)
+		dev.SetMemCapacity(64 << 30) // the 16K case needs 3 GiB buffers
+		a := tensor.New(n, n)
+		da, _, err := dev.H2D(a)
+		if err != nil {
+			panic(err)
+		}
+		db, _, err := dev.H2D(a)
+		if err != nil {
+			panic(err)
+		}
+		dc := dev.MustAlloc(n, n)
+		dev.Gemm(dc, da, db)
+		dev.D2H(dc)
+		prof := dev.Profiler()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			pct(prof.Share("gemm", "gemm.tc")),
+			pct(prof.Share("h2d", "d2h")),
+		})
+	}
+	return t
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"parsecureml/internal/dataset"
+	"parsecureml/internal/hw"
+)
+
+// AblationGPUGeneration (A5) replays the §5.2 hardware claim: the V100's
+// Tensor Cores against its own FP32 pipe and against the previous
+// generation (P100), on the two GEMM-heaviest benchmarks.
+func AblationGPUGeneration(opts Options) Table {
+	t := Table{
+		ID:     "ablation-gpu-generation",
+		Title:  "Ablation: V100 Tensor Cores vs V100 FP32 vs P100",
+		Header: []string{"Dataset", "Model", "P100 (s)", "V100 FP32 (s)", "V100 TC (s)"},
+		Notes:  "§5.2 cites 2.5-12x TC-over-FP32 GEMM gains and 12x peak over P100; full-run gains are diluted by transfers and reconstructs (Fig. 15)",
+	}
+	cells := []workload{
+		{"MLP", dataset.VGGFace2},
+		{"CNN", dataset.MNIST},
+	}
+	for _, w := range cells {
+		tc := parSecureMLConfig(opts.Seed)
+
+		fp := parSecureMLConfig(opts.Seed)
+		fp.TensorCores = false
+
+		pascal := parSecureMLConfig(opts.Seed)
+		pascal.TensorCores = false
+		pascal.Platform = hw.P100()
+
+		tTC := runSecure(w, tc, opts, false).Phases.Total
+		tFP := runSecure(w, fp, opts, false).Phases.Total
+		tP := runSecure(w, pascal, opts, false).Phases.Total
+		t.Rows = append(t.Rows, []string{w.spec.Name, w.model, f2(tP), f2(tFP), f2(tTC)})
+	}
+	return t
+}
+
+// AblationMultiGPU (A7) implements the paper's multi-GPU outlook (§8,
+// [63]): the online Eq. (8) operation row-splits across several V100s per
+// server. Reconstruct/communication stay serial, so scaling is sublinear —
+// Amdahl on the protocol's CPU/network fraction.
+func AblationMultiGPU(opts Options) Table {
+	t := Table{
+		ID:     "ablation-multigpu",
+		Title:  "Ablation: GPUs per server (online phase, data-parallel Eq. 8)",
+		Header: []string{"Dataset", "Model", "1 GPU (s)", "2 GPUs (s)", "4 GPUs (s)"},
+		Notes:  "sublinear scaling: reconstructs and the E/F exchange stay serial",
+	}
+	cells := []workload{
+		{"MLP", dataset.VGGFace2},
+		{"CNN", dataset.MNIST},
+	}
+	for _, w := range cells {
+		var times []string
+		for _, gpus := range []int{1, 2, 4} {
+			cfg := parSecureMLConfig(opts.Seed)
+			cfg.GPUsPerServer = gpus
+			times = append(times, f2(runSecure(w, cfg, opts, false).Phases.Online))
+		}
+		t.Rows = append(t.Rows, append([]string{w.spec.Name, w.model}, times...))
+	}
+	return t
+}

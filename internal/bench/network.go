@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"parsecureml/internal/dataset"
+	"parsecureml/internal/hw"
+)
+
+// AblationNetwork (A6) studies fabric sensitivity: the paper's 100 Gb/s
+// InfiniBand against commodity 10 Gb/s Ethernet. SecureML's own evaluation
+// highlighted LAN-vs-WAN as the protocol's weak point; this shows where
+// ParSecureML's compressed transmission earns its keep — the slower the
+// fabric, the larger the compression win.
+func AblationNetwork(opts Options) Table {
+	t := Table{
+		ID:     "ablation-network",
+		Title:  "Ablation: fabric speed x compression (MLP on MNIST geometry)",
+		Header: []string{"fabric", "compression", "online (s)", "comm saved"},
+		Notes:  "compression matters more on slower fabrics; fabric hurts the communication-bound reconstructs",
+	}
+	w := workload{"MLP", dataset.MNIST}
+	for _, fabric := range []struct {
+		name string
+		p    hw.Platform
+	}{
+		{"100Gb/s IB", hw.Paper()},
+		{"10Gb/s Eth", hw.SlowNet()},
+	} {
+		for _, compress := range []bool{false, true} {
+			cfg := parSecureMLConfig(opts.Seed)
+			cfg.Platform = fabric.p
+			cfg.Compress = compress
+			// Compression needs epoch-over-epoch deltas: run 3 epochs so
+			// two are in the compressed steady state.
+			run := runSecureEpochs(w, cfg, opts, 3)
+			saved := "-"
+			if compress && run.DenseBytes > 0 {
+				saved = pct(1 - float64(run.WireBytes)/float64(run.DenseBytes))
+			}
+			label := "off"
+			if compress {
+				label = "on"
+			}
+			t.Rows = append(t.Rows, []string{fabric.name, label, f2(run.Phases.Online), saved})
+		}
+	}
+	return t
+}

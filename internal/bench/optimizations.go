@@ -1,0 +1,58 @@
+package bench
+
+// Figures 14–15: the §5 deep-optimization benefits, measured by toggling
+// one feature of the full system at a time (the paper's baseline for both
+// is "ParSecureML without the §5 optimizations").
+
+// Figure14 reproduces Fig. 14: the CPU-parallelism benefit (thread-local
+// MT19937 + parallel add/sub). Paper average: 10.71 % improvement,
+// varying with dataset size (VGGFace2 17.6 %, MNIST 8.7 %).
+func Figure14(opts Options) Table {
+	t := Table{
+		ID:     "fig14",
+		Title:  "CPU optimization benefit (parallel RNG + elementwise)",
+		Header: []string{"Dataset", "Model", "serial CPU (s)", "parallel CPU (s)", "improvement"},
+		Notes:  "paper Fig. 14: average 10.71%",
+	}
+	var sum float64
+	var count int
+	for _, w := range evaluationMatrix() {
+		on := parSecureMLConfig(opts.Seed)
+		off := parSecureMLConfig(opts.Seed)
+		off.ParallelCPU = false
+		with := runSecure(w, on, opts, false).Phases.Total
+		without := runSecure(w, off, opts, false).Phases.Total
+		imp := 1 - with/without
+		sum += imp
+		count++
+		t.Rows = append(t.Rows, []string{w.spec.Name, w.model, f1(without), f1(with), pct(imp)})
+	}
+	t.Rows = append(t.Rows, []string{"average", "", "", "", pct(sum / float64(count))})
+	return t
+}
+
+// Figure15 reproduces Fig. 15: the Tensor-Core benefit. Paper average:
+// 3.11 %, largest for workloads dominated by large GEMMs.
+func Figure15(opts Options) Table {
+	t := Table{
+		ID:     "fig15",
+		Title:  "GPU Tensor Core benefit",
+		Header: []string{"Dataset", "Model", "FP32 (s)", "TensorCore (s)", "improvement"},
+		Notes:  "paper Fig. 15: average 3.11%",
+	}
+	var sum float64
+	var count int
+	for _, w := range evaluationMatrix() {
+		on := parSecureMLConfig(opts.Seed)
+		off := parSecureMLConfig(opts.Seed)
+		off.TensorCores = false
+		with := runSecure(w, on, opts, false).Phases.Total
+		without := runSecure(w, off, opts, false).Phases.Total
+		imp := 1 - with/without
+		sum += imp
+		count++
+		t.Rows = append(t.Rows, []string{w.spec.Name, w.model, f1(without), f1(with), pct(imp)})
+	}
+	t.Rows = append(t.Rows, []string{"average", "", "", "", pct(sum / float64(count))})
+	return t
+}

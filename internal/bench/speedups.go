@@ -1,0 +1,61 @@
+package bench
+
+// Figures 10–13: ParSecureML vs SecureML speedups over the full
+// 6-model × 5-dataset evaluation matrix. Each cell runs both systems on
+// identical workloads (dry-run scheduling at paper scale) and reports the
+// time ratio.
+
+func speedupTable(id, title, notes string, metric func(par, sec secureRun) (float64, float64)) func(Options) Table {
+	return func(opts Options) Table {
+		t := Table{
+			ID:     id,
+			Title:  title,
+			Header: []string{"Dataset", "Model", "SecureML (s)", "ParSecureML (s)", "Speedup"},
+			Notes:  notes,
+		}
+		var sum float64
+		var count int
+		inferOnly := id == "fig13"
+		for _, w := range evaluationMatrix() {
+			par := runSecure(w, parSecureMLConfig(opts.Seed), opts, inferOnly)
+			sec := runSecure(w, secureMLBaselineConfig(opts.Seed), opts, inferOnly)
+			pv, sv := metric(par, sec)
+			ratio := sv / pv
+			sum += ratio
+			count++
+			t.Rows = append(t.Rows, []string{
+				w.spec.Name, w.model, f1(sv), f1(pv), fx(ratio),
+			})
+		}
+		t.Rows = append(t.Rows, []string{"average", "", "", "", fx(sum / float64(count))})
+		return t
+	}
+}
+
+// Figure10 reproduces Fig. 10: overall (offline+online) training speedup.
+// Paper average: 33.8×.
+var Figure10 = speedupTable("fig10",
+	"Overall speedup: ParSecureML over SecureML (training, 1 epoch)",
+	"paper Fig. 10: average 33.8x",
+	func(par, sec secureRun) (float64, float64) { return par.Phases.Total, sec.Phases.Total })
+
+// Figure11 reproduces Fig. 11: online-phase speedup. Paper average: 64.5×.
+var Figure11 = speedupTable("fig11",
+	"Online speedup",
+	"paper Fig. 11: average 64.5x",
+	func(par, sec secureRun) (float64, float64) { return par.Phases.Online, sec.Phases.Online })
+
+// Figure12 reproduces Fig. 12: offline-phase speedup (the client's GPU
+// accelerating Z = U×V). Paper average ≈ 1.3×.
+var Figure12 = speedupTable("fig12",
+	"Offline speedup",
+	"paper Fig. 12: ~1.3x across benchmarks",
+	func(par, sec secureRun) (float64, float64) { return par.Phases.Offline, sec.Phases.Offline })
+
+// Figure13 reproduces Fig. 13: secure inference (forward pass only).
+// Paper average: 31.7×. Linear regression stands in for SVM inference as
+// both compute w^T x + b (§7.2).
+var Figure13 = speedupTable("fig13",
+	"Inference speedup (forward pass)",
+	"paper Fig. 13: average 31.7x; SVM inference == linear (w^T x + b)",
+	func(par, sec secureRun) (float64, float64) { return par.Phases.Online, sec.Phases.Online })

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"parsecureml/internal/baseline"
+	"parsecureml/internal/dataset"
+	"parsecureml/internal/hw"
+	"parsecureml/internal/rng"
+)
+
+// Table1 reproduces Table 1: the original (security-ignorant) CPU
+// implementation against the SecureML re-implementation on MNIST, one
+// training epoch at batch 128. The paper reports slowdowns of
+// CNN 2.49×, MLP 1.80×, linear 1.93×, logistic 1.97× (average ≈ 2×).
+func Table1(opts Options) Table {
+	p := hw.Paper()
+	spec := dataset.MNIST
+	t := Table{
+		ID:     "table1",
+		Title:  "Original vs SecureML (MNIST, 1 epoch, batch 128)",
+		Header: []string{"Method", "Original (s)", "SecureML (s)", "Slowdown (x)"},
+		Notes:  "paper: CNN 2.49x, MLP 1.80x, linear 1.93x, logistic 1.97x (avg ~2x); both sides serial scalar CPU",
+	}
+	batches := (spec.Samples + PaperBatch - 1) / PaperBatch
+	for _, model := range []string{"CNN", "MLP", "linear", "logistic"} {
+		plain := buildModel(model, spec, rng.NewRand(opts.Seed))
+		orig := baseline.TrainingTime(
+			baseline.OriginalCPUTime(p, plain.TrainOps(PaperBatch), false), batches, 1)
+
+		run := runSecure(workload{model, spec}, secureMLBaselineConfig(opts.Seed), opts, false)
+		secure := run.Phases.Total
+		t.Rows = append(t.Rows, []string{model, f2(orig), f2(secure), f2(secure / orig)})
+	}
+	return t
+}

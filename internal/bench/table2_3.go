@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"parsecureml/internal/baseline"
+	"parsecureml/internal/hw"
+	"parsecureml/internal/rng"
+)
+
+// Table2 reproduces Table 2: both secure systems against ordinary
+// (non-secure) GPU machine learning. Paper averages: GPU time 16.4 s,
+// SecureML 249× slower, ParSecureML 11× slower.
+func Table2(opts Options) Table {
+	p := hw.Paper()
+	t := Table{
+		ID:     "table2",
+		Title:  "Slowdown vs non-secure GPU machine learning (training, 1 epoch)",
+		Header: []string{"Dataset", "Model", "GPU time (s)", "SecureML slowdown (x)", "ParSecureML slowdown (x)"},
+		Notes:  "paper Table 2 averages: 16.40 s / 249.34x / 10.98x",
+	}
+	var sumG, sumS, sumP float64
+	var count int
+	for _, w := range evaluationMatrix() {
+		plain := buildModel(w.model, w.spec, rng.NewRand(opts.Seed))
+		batches := (w.spec.Samples + PaperBatch - 1) / PaperBatch
+		gpuTime := baseline.TrainingTime(
+			baseline.OriginalGPUTime(p, plain.TrainOps(PaperBatch), 4*PaperBatch*w.spec.InDim()),
+			batches, 1)
+
+		sec := runSecure(w, secureMLBaselineConfig(opts.Seed), opts, false).Phases.Total
+		par := runSecure(w, parSecureMLConfig(opts.Seed), opts, false).Phases.Total
+
+		sumG += gpuTime
+		sumS += sec / gpuTime
+		sumP += par / gpuTime
+		count++
+		t.Rows = append(t.Rows, []string{
+			w.spec.Name, w.model, f2(gpuTime), f2(sec / gpuTime), f2(par / gpuTime),
+		})
+	}
+	n := float64(count)
+	t.Rows = append(t.Rows, []string{"average", "all", f2(sumG / n), f2(sumS / n), f2(sumP / n)})
+	return t
+}
+
+// Table3 reproduces Table 3: online time, total time and occupancy
+// (online/total) for both systems. Paper: SecureML occupancy >90 % for
+// most tasks; ParSecureML reduces it to 54.2 % on average.
+func Table3(opts Options) Table {
+	t := Table{
+		ID:    "table3",
+		Title: "Time breakdown: online vs total, occupancy",
+		Header: []string{"Dataset", "Model",
+			"SecureML online (s)", "SecureML total (s)",
+			"ParSecureML online (s)", "ParSecureML total (s)",
+			"occ. SecureML", "occ. ParSecureML"},
+		Notes: "paper Table 3: SecureML occupancy mostly >90%; ParSecureML average 54.2%",
+	}
+	var sumOccS, sumOccP float64
+	var count int
+	for _, w := range evaluationMatrix() {
+		sec := runSecure(w, secureMLBaselineConfig(opts.Seed), opts, false).Phases
+		par := runSecure(w, parSecureMLConfig(opts.Seed), opts, false).Phases
+		sumOccS += sec.Occupancy()
+		sumOccP += par.Occupancy()
+		count++
+		t.Rows = append(t.Rows, []string{
+			w.spec.Name, w.model,
+			f2(sec.Online), f2(sec.Total),
+			f2(par.Online), f2(par.Total),
+			pct(sec.Occupancy()), pct(par.Occupancy()),
+		})
+	}
+	n := float64(count)
+	t.Rows = append(t.Rows, []string{"average", "", "", "", "", "", pct(sumOccS / n), pct(sumOccP / n)})
+	return t
+}

@@ -1,0 +1,85 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// TCP transport: the same frames the modeled Link meters, moved over real
+// sockets. The paper's MPI layer plays this role; stdlib net is the
+// closest equivalent. Frames are length-prefixed (u32 little-endian).
+
+// MaxFrameBytes bounds a single frame (1 GiB) to fail fast on corrupted
+// length prefixes.
+const MaxFrameBytes = 1 << 30
+
+// Conn is a framed connection.
+type Conn struct {
+	c net.Conn
+}
+
+// WriteFrame sends one length-prefixed frame.
+func (fc *Conn) WriteFrame(frame []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := fc.c.Write(hdr[:]); err != nil {
+		return fmt.Errorf("comm: write frame header: %w", err)
+	}
+	if _, err := fc.c.Write(frame); err != nil {
+		return fmt.Errorf("comm: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame receives one frame.
+func (fc *Conn) ReadFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fc.c, hdr[:]); err != nil {
+		return nil, fmt.Errorf("comm: read frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("comm: frame of %d bytes exceeds limit", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(fc.c, frame); err != nil {
+		return nil, fmt.Errorf("comm: read frame body: %w", err)
+	}
+	return frame, nil
+}
+
+// Close closes the underlying connection.
+func (fc *Conn) Close() error { return fc.c.Close() }
+
+// Pipe returns two framed connections wired to each other in memory
+// (net.Pipe), handy for tests.
+func Pipe() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return &Conn{c: a}, &Conn{c: b}
+}
+
+// Listen starts a TCP listener on addr (e.g. "127.0.0.1:0") and returns
+// it; use Accept to obtain framed connections.
+func Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// Accept wraps l.Accept with framing.
+func Accept(l net.Listener) (*Conn, error) {
+	c, err := l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{c: c}, nil
+}
+
+// Dial connects to a framed TCP peer.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{c: c}, nil
+}

@@ -1,0 +1,47 @@
+package dataset
+
+import (
+	"parsecureml/internal/tensor"
+)
+
+// Streaming batch generation. The full-size datasets cannot be
+// materialized (VGGFace2 alone is 40 000 × 40 000 FP32 = 6.4 TB), and no
+// real deployment would try: clients stream batches. A Stream produces
+// batch #i deterministically and independently — batch b of a given
+// (spec, seed) is always the same matrix, whatever order or subset is
+// generated — so training, resuming, and distributed sharding all see
+// consistent data.
+type Stream struct {
+	Spec  Spec
+	Batch int
+	Seed  uint64
+	kind  string
+}
+
+// StreamClassification returns a classification batch stream.
+func StreamClassification(spec Spec, batch int, seed uint64) *Stream {
+	return &Stream{Spec: spec, Batch: batch, Seed: seed, kind: "class"}
+}
+
+// StreamRegression returns a regression batch stream.
+func StreamRegression(spec Spec, batch int, seed uint64) *Stream {
+	return &Stream{Spec: spec, Batch: batch, Seed: seed, kind: "reg"}
+}
+
+// Batches returns the number of full batches in one epoch of the spec's
+// nominal sample count.
+func (s *Stream) Batches() int { return s.Spec.Samples / s.Batch }
+
+// At generates batch i: features plus targets (one-hot for
+// classification, scalar for regression).
+func (s *Stream) At(i int) (x, y *tensor.Matrix) {
+	// Derive a per-batch seed; batches are independent streams.
+	seed := s.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15
+	switch s.kind {
+	case "reg":
+		return Regression(s.Spec, s.Batch, seed)
+	default:
+		xb, labels := Classification(s.Spec, s.Batch, seed)
+		return xb, OneHotLabels(labels, s.Spec.Classes)
+	}
+}

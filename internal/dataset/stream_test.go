@@ -1,0 +1,50 @@
+package dataset
+
+import "testing"
+
+func TestStreamDeterministicAndIndependent(t *testing.T) {
+	s := StreamClassification(MNIST, 32, 5)
+	x1, y1 := s.At(3)
+	x2, y2 := s.At(3)
+	if !x1.Equal(x2) || !y1.Equal(y2) {
+		t.Fatal("batch 3 not reproducible")
+	}
+	x3, _ := s.At(4)
+	if x1.Equal(x3) {
+		t.Fatal("adjacent batches identical")
+	}
+	// Access order must not matter.
+	s2 := StreamClassification(MNIST, 32, 5)
+	x4, _ := s2.At(4)
+	x5, _ := s2.At(3)
+	if !x4.Equal(x3) || !x5.Equal(x1) {
+		t.Fatal("batch content depends on access order")
+	}
+}
+
+func TestStreamShapes(t *testing.T) {
+	s := StreamClassification(MNIST, 16, 1)
+	x, y := s.At(0)
+	if x.Rows != 16 || x.Cols != 784 || y.Rows != 16 || y.Cols != 10 {
+		t.Fatalf("shapes %dx%d / %dx%d", x.Rows, x.Cols, y.Rows, y.Cols)
+	}
+	if s.Batches() != 60000/16 {
+		t.Fatalf("Batches = %d", s.Batches())
+	}
+
+	r := StreamRegression(Spec{Name: "t", H: 2, W: 3, Classes: 2, Density: 1}, 8, 2)
+	xr, yr := r.At(0)
+	if xr.Cols != 6 || yr.Cols != 1 {
+		t.Fatalf("regression shapes %d / %d", xr.Cols, yr.Cols)
+	}
+}
+
+func TestStreamSeedsDiffer(t *testing.T) {
+	a := StreamClassification(MNIST, 32, 1)
+	b := StreamClassification(MNIST, 32, 2)
+	xa, _ := a.At(0)
+	xb, _ := b.At(0)
+	if xa.Equal(xb) {
+		t.Fatal("different stream seeds produced identical batches")
+	}
+}

@@ -1,0 +1,243 @@
+// Package fixed implements the cryptographically faithful share domain of
+// SecureML [10]: values are fixed-point numbers embedded in the ring
+// Z_2^64 (two's complement, FracBits fractional bits), secret-shared
+// additively, and multiplied with Beaver triplets followed by SecureML's
+// local truncation trick (each party truncates its own share; the
+// reconstruction is off by at most one unit in the last place with
+// overwhelming probability).
+//
+// ParSecureML's released implementation computes on FP32 shares instead —
+// faster on GPUs but not information-theoretically hiding. The framework
+// uses the float domain for the paper's performance experiments and this
+// package for the soundness ablation (bench A2 in DESIGN.md), which
+// quantifies what the ring domain costs.
+package fixed
+
+import (
+	"fmt"
+
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+// FracBits is the fixed-point precision: 13 fractional bits, SecureML's
+// choice (§4.1 of [10]).
+const FracBits = 13
+
+// Scale is 2^FracBits.
+const Scale = 1 << FracBits
+
+// Encode converts a float to its ring representation.
+func Encode(f float64) uint64 {
+	return uint64(int64(f * Scale))
+}
+
+// Decode converts a ring element back to a float, interpreting the element
+// as a two's-complement signed value.
+func Decode(r uint64) float64 {
+	return float64(int64(r)) / Scale
+}
+
+// Matrix is a dense row-major matrix over Z_2^64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []uint64
+}
+
+// NewMatrix allocates a zeroed ring matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]uint64, rows*cols)}
+}
+
+// EncodeMatrix lifts a float matrix into the ring.
+func EncodeMatrix(m *tensor.Matrix) *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = Encode(float64(v))
+	}
+	return out
+}
+
+// DecodeMatrix lowers a ring matrix to floats.
+func DecodeMatrix(m *Matrix) *tensor.Matrix {
+	out := tensor.New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = float32(Decode(v))
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+func (m *Matrix) mustSameShape(o *Matrix, op string) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("fixed: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Add computes dst = a + b in the ring (wrapping).
+func Add(dst, a, b *Matrix) {
+	a.mustSameShape(b, "Add")
+	dst.mustSameShape(a, "Add")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Sub computes dst = a - b in the ring (wrapping).
+func Sub(dst, a, b *Matrix) {
+	a.mustSameShape(b, "Sub")
+	dst.mustSameShape(a, "Sub")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// AddTo returns a newly allocated a + b.
+func AddTo(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, a.Cols)
+	Add(out, a, b)
+	return out
+}
+
+// SubTo returns a newly allocated a - b.
+func SubTo(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, a.Cols)
+	Sub(out, a, b)
+	return out
+}
+
+// Mul computes dst = a × b in the ring. The product of two FracBits
+// fixed-point values carries 2·FracBits fractional bits; callers must
+// Truncate afterwards (or use MulTruncate on public values).
+func Mul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("fixed: Mul inner dimension %d vs %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("fixed: Mul destination shape")
+	}
+	cols := b.Cols
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		drow := dst.Data[i*cols : (i+1)*cols]
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*cols : (p+1)*cols]
+			for j, bv := range brow {
+				drow[j] += av * bv // wraps mod 2^64
+			}
+		}
+	}
+}
+
+// MulTo returns a newly allocated a × b (untruncated).
+func MulTo(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	Mul(out, a, b)
+	return out
+}
+
+// Truncate divides every element by 2^FracBits as a signed value,
+// restoring single-precision fixed point after a multiplication. party is
+// 0 or 1: SecureML's local truncation has party 0 compute ⌊x₀/2^d⌋ and
+// party 1 compute −⌊−x₁/2^d⌋ so the shares still sum to the truncated
+// secret up to one ULP.
+func Truncate(m *Matrix, party int) {
+	switch party {
+	case 0:
+		for i, v := range m.Data {
+			m.Data[i] = uint64(int64(v) >> FracBits)
+		}
+	case 1:
+		for i, v := range m.Data {
+			m.Data[i] = uint64(-(int64(-v) >> FracBits))
+		}
+	default:
+		panic(fmt.Sprintf("fixed: Truncate party %d", party))
+	}
+}
+
+// TruncatePublic truncates a public (non-shared) value.
+func TruncatePublic(m *Matrix) { Truncate(m, 0) }
+
+// FillRandom fills m with uniform ring elements from r.
+func FillRandom(m *Matrix, r *rng.Rand) {
+	for i := range m.Data {
+		m.Data[i] = r.Uint64()
+	}
+}
+
+// Share splits secret into two additive shares: s0 uniform, s1 = secret−s0.
+// Uniform shares make each share individually independent of the secret —
+// the information-theoretic hiding the float domain lacks.
+func Share(secret *Matrix, r *rng.Rand) (s0, s1 *Matrix) {
+	s0 = NewMatrix(secret.Rows, secret.Cols)
+	FillRandom(s0, r)
+	s1 = SubTo(secret, s0)
+	return s0, s1
+}
+
+// Reconstruct returns s0 + s1.
+func Reconstruct(s0, s1 *Matrix) *Matrix { return AddTo(s0, s1) }
+
+// Triplet is one Beaver triplet in the ring: Z = U×V (untruncated product,
+// carrying 2·FracBits fractional bits, matching the E/F masked product).
+type Triplet struct {
+	U, V, Z *Matrix
+}
+
+// TripletShares holds one party's share of a triplet.
+type TripletShares struct {
+	U, V, Z *Matrix
+}
+
+// GenTriplet draws U, V uniformly at fixed-point scale and computes
+// Z = U×V, then shares all three. m×k by k×n geometry.
+func GenTriplet(m, k, n int, r *rng.Rand) (p0, p1 TripletShares) {
+	u := NewMatrix(m, k)
+	v := NewMatrix(k, n)
+	// Draw U, V as small fixed-point values (|x| < 1) so products stay
+	// well inside the ring.
+	for i := range u.Data {
+		u.Data[i] = Encode(r.Float64()*2 - 1)
+	}
+	for i := range v.Data {
+		v.Data[i] = Encode(r.Float64()*2 - 1)
+	}
+	z := MulTo(u, v)
+	u0, u1 := Share(u, r)
+	v0, v1 := Share(v, r)
+	z0, z1 := Share(z, r)
+	return TripletShares{u0, v0, z0}, TripletShares{u1, v1, z1}
+}
+
+// MulShares executes the online phase of one Beaver multiplication for
+// party i given the already-reconstructed public E = A−U and F = B−V:
+//
+//	C_i = (−i)·E×F + A_i×F + E×B_i + Z_i      (paper Eq. 6)
+//
+// followed by local truncation. Reconstructing C_0+C_1 yields A×B at
+// fixed-point precision (±1 ULP).
+func MulShares(party int, e, f, ai, bi, zi *Matrix) *Matrix {
+	c := MulTo(ai, f)
+	ebi := MulTo(e, bi)
+	Add(c, c, ebi)
+	Add(c, c, zi)
+	if party == 1 {
+		ef := MulTo(e, f)
+		Sub(c, c, ef) // (−i)·E×F with i = 1
+	}
+	Truncate(c, party)
+	return c
+}

@@ -1,0 +1,216 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(x float32) bool {
+		v := float64(x)
+		if math.Abs(v) > 1e6 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		got := Decode(Encode(v))
+		return math.Abs(got-v) <= 1.0/Scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeNegative(t *testing.T) {
+	if got := Decode(Encode(-1.5)); got != -1.5 {
+		t.Fatalf("Decode(Encode(-1.5)) = %v", got)
+	}
+	if got := Decode(Encode(0)); got != 0 {
+		t.Fatalf("zero round trip = %v", got)
+	}
+}
+
+func TestMatrixEncodeDecode(t *testing.T) {
+	m := tensor.FromSlice(2, 2, []float32{1.25, -0.5, 0, 3})
+	back := DecodeMatrix(EncodeMatrix(m))
+	if !back.ApproxEqual(m, 1.0/Scale) {
+		t.Fatal("matrix encode/decode round trip failed")
+	}
+}
+
+func TestShareHidesAndReconstructs(t *testing.T) {
+	r := rng.NewRand(1)
+	secret := EncodeMatrix(tensor.FromSlice(2, 3, []float32{1, -2, 3, -4, 5, -6}))
+	s0, s1 := Share(secret, r)
+	rec := Reconstruct(s0, s1)
+	for i := range rec.Data {
+		if rec.Data[i] != secret.Data[i] {
+			t.Fatal("shares do not reconstruct the secret")
+		}
+	}
+	// A share alone should look nothing like the secret (it is uniform).
+	same := 0
+	for i := range s0.Data {
+		if s0.Data[i] == secret.Data[i] {
+			same++
+		}
+	}
+	if same == len(s0.Data) {
+		t.Fatal("share equals secret — no hiding")
+	}
+}
+
+func TestRingAddSubWraparound(t *testing.T) {
+	a := NewMatrix(1, 1)
+	b := NewMatrix(1, 1)
+	a.Data[0] = ^uint64(0) // -1 in two's complement
+	b.Data[0] = 1
+	c := AddTo(a, b)
+	if c.Data[0] != 0 {
+		t.Fatalf("(-1)+1 = %d in the ring", c.Data[0])
+	}
+	d := SubTo(b, a) // 1 - (-1) = 2
+	if d.Data[0] != 2 {
+		t.Fatalf("1-(-1) = %d", d.Data[0])
+	}
+}
+
+func TestTruncationPairPreservesSum(t *testing.T) {
+	r := rng.NewRand(2)
+	f := func(x float32) bool {
+		v := float64(x)
+		if math.Abs(v) > 1000 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		// A value with 2*FracBits fractional bits, as after a product.
+		wide := NewMatrix(1, 1)
+		wide.Data[0] = uint64(int64(v * Scale * Scale))
+		s0, s1 := Share(wide, r)
+		Truncate(s0, 0)
+		Truncate(s1, 1)
+		rec := Reconstruct(s0, s1)
+		got := Decode(rec.Data[0])
+		return math.Abs(got-v) <= 2.0/Scale // ±1 ULP from sharing + 1 from truncation
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingMulMatchesFloat(t *testing.T) {
+	r := rng.NewRand(3)
+	a := tensor.New(5, 7)
+	b := tensor.New(7, 4)
+	for i := range a.Data {
+		a.Data[i] = r.Float32()*2 - 1
+	}
+	for i := range b.Data {
+		b.Data[i] = r.Float32()*2 - 1
+	}
+	ra, rb := EncodeMatrix(a), EncodeMatrix(b)
+	prod := MulTo(ra, rb)
+	TruncatePublic(prod)
+	got := DecodeMatrix(prod)
+	want := tensor.MulNaive(a, b)
+	if !got.ApproxEqual(want, 7*2.0/Scale) {
+		t.Fatalf("ring GEMM off by %v", got.MaxAbsDiff(want))
+	}
+}
+
+// The full Beaver protocol in the ring: C0+C1 == A×B within fixed-point
+// tolerance, for random A, B.
+func TestBeaverMultiplicationEndToEnd(t *testing.T) {
+	r := rng.NewRand(4)
+	const m, k, n = 6, 9, 5
+	a := tensor.New(m, k)
+	b := tensor.New(k, n)
+	for i := range a.Data {
+		a.Data[i] = r.Float32()*2 - 1
+	}
+	for i := range b.Data {
+		b.Data[i] = r.Float32()*2 - 1
+	}
+	ra, rb := EncodeMatrix(a), EncodeMatrix(b)
+
+	// Client: share inputs and a triplet.
+	a0, a1 := Share(ra, r)
+	b0, b1 := Share(rb, r)
+	t0, t1 := GenTriplet(m, k, n, r)
+
+	// Servers: E_i = A_i−U_i, F_i = B_i−V_i; exchange; reconstruct.
+	e0, f0 := SubTo(a0, t0.U), SubTo(b0, t0.V)
+	e1, f1 := SubTo(a1, t1.U), SubTo(b1, t1.V)
+	e := AddTo(e0, e1)
+	f := AddTo(f0, f1)
+
+	c0 := MulShares(0, e, f, a0, b0, t0.Z)
+	c1 := MulShares(1, e, f, a1, b1, t1.Z)
+
+	got := DecodeMatrix(Reconstruct(c0, c1))
+	want := tensor.MulNaive(a, b)
+	if !got.ApproxEqual(want, float64(k)*4.0/Scale) {
+		t.Fatalf("Beaver product off by %v", got.MaxAbsDiff(want))
+	}
+}
+
+// Property version over random shapes and seeds.
+func TestBeaverProperty(t *testing.T) {
+	f := func(seed uint32, m8, k8, n8 uint8) bool {
+		r := rng.NewRand(uint64(seed))
+		m, k, n := int(m8%6)+1, int(k8%6)+1, int(n8%6)+1
+		a := tensor.New(m, k)
+		b := tensor.New(k, n)
+		for i := range a.Data {
+			a.Data[i] = r.Float32() - 0.5
+		}
+		for i := range b.Data {
+			b.Data[i] = r.Float32() - 0.5
+		}
+		ra, rb := EncodeMatrix(a), EncodeMatrix(b)
+		a0, a1 := Share(ra, r)
+		b0, b1 := Share(rb, r)
+		t0, t1 := GenTriplet(m, k, n, r)
+		e := AddTo(SubTo(a0, t0.U), SubTo(a1, t1.U))
+		fm := AddTo(SubTo(b0, t0.V), SubTo(b1, t1.V))
+		c0 := MulShares(0, e, fm, a0, b0, t0.Z)
+		c1 := MulShares(1, e, fm, a1, b1, t1.Z)
+		got := DecodeMatrix(Reconstruct(c0, c1))
+		return got.ApproxEqual(tensor.MulNaive(a, b), float64(k)*4.0/Scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatePanicsOnBadParty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Truncate(NewMatrix(1, 1), 2)
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MulTo(NewMatrix(2, 3), NewMatrix(4, 5))
+}
+
+func BenchmarkRingGemm256(b *testing.B) {
+	r := rng.NewRand(1)
+	a := NewMatrix(256, 256)
+	c := NewMatrix(256, 256)
+	FillRandom(a, r)
+	FillRandom(c, r)
+	dst := NewMatrix(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(dst, a, c)
+	}
+}

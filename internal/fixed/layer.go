@@ -1,0 +1,89 @@
+package fixed
+
+import (
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+// Ring-domain secure inference: a dense layer evaluated entirely in
+// Z_2^64, demonstrating that the cryptographically faithful domain runs
+// complete model layers (not just isolated multiplications). Activations
+// use the framework's reveal substitute (DESIGN.md) — reconstruct, apply,
+// re-share — which in the ring is exact.
+
+// DenseLayer is one party's share of a dense layer plus its triplet,
+// sized for a fixed batch.
+type DenseLayer struct {
+	W, B *Matrix
+	T    TripletShares
+}
+
+// ShareDense splits a plaintext dense layer (weights in×out, bias 1×out)
+// for the given batch size.
+func ShareDense(w, b *tensor.Matrix, batch int, r *rng.Rand) (p0, p1 DenseLayer) {
+	rw := EncodeMatrix(w)
+	rb := EncodeMatrix(b)
+	w0, w1 := Share(rw, r)
+	b0, b1 := Share(rb, r)
+	t0, t1 := GenTriplet(batch, w.Rows, w.Cols, r)
+	return DenseLayer{W: w0, B: b0, T: t0}, DenseLayer{W: w1, B: b1, T: t1}
+}
+
+// DenseForward evaluates Y_i = (X×W)_i + B_i for both parties given their
+// input shares, exchanging only the Beaver masks (returned for
+// inspection). Reconstruct(y0, y1) equals X×W + broadcast(B) at
+// fixed-point precision.
+func DenseForward(x0, x1 *Matrix, l0, l1 DenseLayer) (y0, y1 *Matrix) {
+	// E = X − U, F = W − V (public after exchange).
+	e := AddTo(SubTo(x0, l0.T.U), SubTo(x1, l1.T.U))
+	f := AddTo(SubTo(l0.W, l0.T.V), SubTo(l1.W, l1.T.V))
+
+	y0 = MulShares(0, e, f, x0, l0.W, l0.T.Z)
+	y1 = MulShares(1, e, f, x1, l1.W, l1.T.Z)
+
+	// Bias: share-local broadcast add.
+	for _, pair := range [][2]*Matrix{{y0, l0.B}, {y1, l1.B}} {
+		y, b := pair[0], pair[1]
+		for r := 0; r < y.Rows; r++ {
+			row := y.Data[r*y.Cols : (r+1)*y.Cols]
+			for c := range row {
+				row[c] += b.Data[c]
+			}
+		}
+	}
+	return y0, y1
+}
+
+// PiecewiseActivate applies the paper's Eq. (9) activation to a shared
+// value via reveal-and-reshare (exact in the ring): returns fresh shares
+// of f(Y).
+func PiecewiseActivate(y0, y1 *Matrix, r *rng.Rand) (a0, a1 *Matrix) {
+	y := Reconstruct(y0, y1)
+	fy := NewMatrix(y.Rows, y.Cols)
+	for i, v := range y.Data {
+		x := Decode(v)
+		var out float64
+		switch {
+		case x < -0.5:
+			out = 0
+		case x > 0.5:
+			out = 1
+		default:
+			out = x + 0.5
+		}
+		fy.Data[i] = Encode(out)
+	}
+	return Share(fy, r)
+}
+
+// MLPForward chains dense layers with piecewise activations between them
+// (none after the last), returning the prediction shares.
+func MLPForward(x0, x1 *Matrix, layers0, layers1 []DenseLayer, r *rng.Rand) (*Matrix, *Matrix) {
+	for i := range layers0 {
+		x0, x1 = DenseForward(x0, x1, layers0[i], layers1[i])
+		if i < len(layers0)-1 {
+			x0, x1 = PiecewiseActivate(x0, x1, r)
+		}
+	}
+	return x0, x1
+}

@@ -1,0 +1,83 @@
+package fixed
+
+import (
+	"testing"
+
+	"parsecureml/internal/ml"
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+func TestRingDenseForwardMatchesFloat(t *testing.T) {
+	r := rng.NewRand(1)
+	const batch, in, out = 6, 10, 4
+	w := tensor.New(in, out)
+	b := tensor.New(1, out)
+	x := tensor.New(batch, in)
+	for i := range w.Data {
+		w.Data[i] = r.Float32() - 0.5
+	}
+	for i := range b.Data {
+		b.Data[i] = r.Float32() - 0.5
+	}
+	for i := range x.Data {
+		x.Data[i] = r.Float32() - 0.5
+	}
+
+	// Plaintext reference.
+	want := tensor.MulTo(x, w)
+	for row := 0; row < batch; row++ {
+		for c := 0; c < out; c++ {
+			want.Set(row, c, want.At(row, c)+b.At(0, c))
+		}
+	}
+
+	l0, l1 := ShareDense(w, b, batch, r)
+	x0, x1 := Share(EncodeMatrix(x), r)
+	y0, y1 := DenseForward(x0, x1, l0, l1)
+	got := DecodeMatrix(Reconstruct(y0, y1))
+	if !got.ApproxEqual(want, float64(in)*4.0/Scale) {
+		t.Fatalf("ring dense forward off by %v", got.MaxAbsDiff(want))
+	}
+}
+
+func TestRingPiecewiseActivate(t *testing.T) {
+	r := rng.NewRand(2)
+	y := tensor.FromSlice(1, 5, []float32{-2, -0.25, 0, 0.25, 2})
+	y0, y1 := Share(EncodeMatrix(y), r)
+	a0, a1 := PiecewiseActivate(y0, y1, r)
+	got := DecodeMatrix(Reconstruct(a0, a1))
+	want := tensor.FromSlice(1, 5, []float32{0, 0.25, 0.5, 0.75, 1})
+	if !got.ApproxEqual(want, 3.0/Scale) {
+		t.Fatalf("ring activation off by %v", got.MaxAbsDiff(want))
+	}
+}
+
+// A 2-layer ring-domain MLP forward must match the float plaintext model
+// at fixed-point precision — the SecureML-faithful inference path end to
+// end.
+func TestRingMLPForwardMatchesPlaintext(t *testing.T) {
+	r := rng.NewRand(3)
+	plain := ml.NewModel("ringmlp", ml.MSE{},
+		ml.NewDense(8, 6, ml.Piecewise, r),
+		ml.NewDense(6, 3, ml.Identity, r),
+	)
+	const batch = 5
+	x := tensor.New(batch, 8)
+	for i := range x.Data {
+		x.Data[i] = r.Float32() - 0.5
+	}
+	want := plain.Predict(x)
+
+	d1 := plain.Layers[0].(*ml.Dense)
+	d2 := plain.Layers[1].(*ml.Dense)
+	l10, l11 := ShareDense(d1.W, d1.B, batch, r)
+	l20, l21 := ShareDense(d2.W, d2.B, batch, r)
+	x0, x1 := Share(EncodeMatrix(x), r)
+	y0, y1 := MLPForward(x0, x1, []DenseLayer{l10, l20}, []DenseLayer{l11, l21}, r)
+	got := DecodeMatrix(Reconstruct(y0, y1))
+	// Two layers of fixed-point rounding: tolerance scales with fan-in.
+	if !got.ApproxEqual(want, 0.02) {
+		t.Fatalf("ring MLP forward off by %v", got.MaxAbsDiff(want))
+	}
+}

@@ -1,0 +1,74 @@
+package fixed
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MulParallel computes dst = a × b in the ring with row-band parallelism —
+// the multi-core variant a modernized SecureML server would run (the A2
+// ablation compares domains; this keeps the ring domain from being
+// handicapped by threading rather than by arithmetic).
+func MulParallel(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic("fixed: MulParallel inner dimension mismatch")
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("fixed: MulParallel destination shape")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers <= 1 {
+		Mul(dst, a, b)
+		return
+	}
+	cols := b.Cols
+	chunk := (a.Rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				drow := dst.Data[i*cols : (i+1)*cols]
+				for j := range drow {
+					drow[j] = 0
+				}
+				arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+				for p, av := range arow {
+					if av == 0 {
+						continue
+					}
+					brow := b.Data[p*cols : (p+1)*cols]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MulSharesParallel is MulShares with the parallel ring GEMM.
+func MulSharesParallel(party int, e, f, ai, bi, zi *Matrix) *Matrix {
+	c := NewMatrix(ai.Rows, f.Cols)
+	MulParallel(c, ai, f)
+	eb := NewMatrix(e.Rows, bi.Cols)
+	MulParallel(eb, e, bi)
+	Add(c, c, eb)
+	Add(c, c, zi)
+	if party == 1 {
+		ef := NewMatrix(e.Rows, f.Cols)
+		MulParallel(ef, e, f)
+		Sub(c, c, ef)
+	}
+	Truncate(c, party)
+	return c
+}

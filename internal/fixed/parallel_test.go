@@ -1,0 +1,80 @@
+package fixed
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+func TestMulParallelMatchesSerial(t *testing.T) {
+	r := rng.NewRand(1)
+	f := func(m8, k8, n8 uint8) bool {
+		m, k, n := int(m8%20)+1, int(k8%20)+1, int(n8%20)+1
+		a := NewMatrix(m, k)
+		b := NewMatrix(k, n)
+		FillRandom(a, r)
+		FillRandom(b, r)
+		serial := NewMatrix(m, n)
+		Mul(serial, a, b)
+		par := NewMatrix(m, n)
+		MulParallel(par, a, b)
+		for i := range serial.Data {
+			if serial.Data[i] != par.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulSharesParallelBeaver(t *testing.T) {
+	r := rng.NewRand(2)
+	const m, k, n = 9, 13, 7
+	a := tensor.New(m, k)
+	b := tensor.New(k, n)
+	for i := range a.Data {
+		a.Data[i] = r.Float32() - 0.5
+	}
+	for i := range b.Data {
+		b.Data[i] = r.Float32() - 0.5
+	}
+	ra, rb := EncodeMatrix(a), EncodeMatrix(b)
+	a0, a1 := Share(ra, r)
+	b0, b1 := Share(rb, r)
+	t0, t1 := GenTriplet(m, k, n, r)
+	e := AddTo(SubTo(a0, t0.U), SubTo(a1, t1.U))
+	fm := AddTo(SubTo(b0, t0.V), SubTo(b1, t1.V))
+	c0 := MulSharesParallel(0, e, fm, a0, b0, t0.Z)
+	c1 := MulSharesParallel(1, e, fm, a1, b1, t1.Z)
+	got := DecodeMatrix(Reconstruct(c0, c1))
+	if !got.ApproxEqual(tensor.MulNaive(a, b), float64(k)*4.0/Scale) {
+		t.Fatalf("parallel Beaver off by %v", got.MaxAbsDiff(tensor.MulNaive(a, b)))
+	}
+}
+
+func TestMulParallelShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MulParallel(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(4, 2))
+}
+
+func BenchmarkRingGemmParallel256(b *testing.B) {
+	r := rng.NewRand(1)
+	x := NewMatrix(256, 256)
+	y := NewMatrix(256, 256)
+	FillRandom(x, r)
+	FillRandom(y, r)
+	dst := NewMatrix(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulParallel(dst, x, y)
+	}
+}

@@ -1,0 +1,69 @@
+package gpu
+
+import "fmt"
+
+// BufferPool recycles device buffers by shape, the standard discipline for
+// iterative training workloads: the same layer geometries recur every
+// batch, so reusing allocations avoids allocator churn and fragmentation
+// on a memory-capped device. Not safe for concurrent use (like the Device
+// it wraps).
+type BufferPool struct {
+	dev  *Device
+	free map[[2]int][]*Buffer
+
+	hits, misses int
+}
+
+// NewBufferPool returns an empty pool over dev.
+func NewBufferPool(dev *Device) *BufferPool {
+	return &BufferPool{dev: dev, free: make(map[[2]int][]*Buffer)}
+}
+
+// Get returns a rows×cols buffer, reusing a pooled one when available.
+// Reused buffers keep their previous contents (callers overwrite).
+func (p *BufferPool) Get(rows, cols int) (*Buffer, error) {
+	key := [2]int{rows, cols}
+	if list := p.free[key]; len(list) > 0 {
+		b := list[len(list)-1]
+		p.free[key] = list[:len(list)-1]
+		p.hits++
+		return b, nil
+	}
+	p.misses++
+	return p.dev.Alloc(rows, cols)
+}
+
+// Put returns a buffer to the pool for reuse. The buffer must have come
+// from this pool's device and must not be used afterwards by the caller.
+func (p *BufferPool) Put(b *Buffer) {
+	if b.dev != p.dev {
+		panic("gpu: BufferPool.Put of a foreign buffer")
+	}
+	if b.freed {
+		panic("gpu: BufferPool.Put of a freed buffer")
+	}
+	key := [2]int{b.Rows(), b.Cols()}
+	p.free[key] = append(p.free[key], b)
+}
+
+// Release frees every pooled buffer back to the device.
+func (p *BufferPool) Release() {
+	for key, list := range p.free {
+		for _, b := range list {
+			p.dev.Free(b)
+		}
+		delete(p.free, key)
+	}
+}
+
+// Stats reports pool effectiveness.
+func (p *BufferPool) Stats() (hits, misses int) { return p.hits, p.misses }
+
+// String summarizes the pool.
+func (p *BufferPool) String() string {
+	cached := 0
+	for _, list := range p.free {
+		cached += len(list)
+	}
+	return fmt.Sprintf("BufferPool{cached: %d, hits: %d, misses: %d}", cached, p.hits, p.misses)
+}

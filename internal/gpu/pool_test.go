@@ -1,0 +1,96 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+
+	"parsecureml/internal/hw"
+	"parsecureml/internal/simtime"
+)
+
+func TestBufferPoolReuse(t *testing.T) {
+	d := New("gpu0", hw.Paper(), simtime.NewEngine())
+	p := NewBufferPool(d)
+
+	b1, err := p.Get(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := d.MemUsed()
+	p.Put(b1)
+	if d.MemUsed() != used {
+		t.Fatal("Put must keep device memory allocated")
+	}
+	b2, err := p.Get(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 != b1 {
+		t.Fatal("same-shape Get must reuse the pooled buffer")
+	}
+	if d.MemUsed() != used {
+		t.Fatal("reuse must not grow device memory")
+	}
+	hits, misses := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats %d/%d, want 1/1", hits, misses)
+	}
+
+	// Different shape allocates fresh.
+	b3, err := p.Get(16, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3 == b1 {
+		t.Fatal("different shapes must not share buffers")
+	}
+	p.Put(b2)
+	p.Put(b3)
+	p.Release()
+	if d.MemUsed() != 0 {
+		t.Fatalf("Release leaked %d bytes", d.MemUsed())
+	}
+	if !strings.Contains(p.String(), "hits: 1") {
+		t.Fatalf("String: %s", p.String())
+	}
+}
+
+func TestBufferPoolRespectsDeviceCap(t *testing.T) {
+	d := New("gpu0", hw.Paper(), simtime.NewEngine())
+	d.SetMemCapacity(4 * 16 * 16)
+	p := NewBufferPool(d)
+	b, err := p.Get(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(16, 16); err == nil {
+		t.Fatal("second allocation must hit the capacity")
+	}
+	p.Put(b)
+	if _, err := p.Get(16, 16); err != nil {
+		t.Fatalf("pooled reuse must succeed at capacity: %v", err)
+	}
+}
+
+func TestBufferPoolPanics(t *testing.T) {
+	d1 := New("gpu0", hw.Paper(), simtime.NewEngine())
+	d2 := New("gpu1", hw.Paper(), simtime.NewEngine())
+	p := NewBufferPool(d1)
+	foreign := d2.MustAlloc(2, 2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("foreign Put must panic")
+			}
+		}()
+		p.Put(foreign)
+	}()
+	own := d1.MustAlloc(2, 2)
+	d1.Free(own)
+	defer func() {
+		if recover() == nil {
+			t.Error("freed Put must panic")
+		}
+	}()
+	p.Put(own)
+}

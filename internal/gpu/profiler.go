@@ -1,0 +1,90 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profiler aggregates device activity the way nvprof does (paper §5.2):
+// per-kind call counts, accumulated time, and data volume for the copy
+// engines. The Fig. 8 experiment (GEMM share of total GPU time) reads it.
+type Profiler struct {
+	rows map[string]*ProfileRow
+}
+
+// ProfileRow is one aggregated activity class.
+type ProfileRow struct {
+	Kind    string
+	Calls   int
+	Seconds float64
+	Bytes   int64
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{rows: make(map[string]*ProfileRow)}
+}
+
+func (p *Profiler) record(kind string, seconds float64, bytes int) {
+	r, ok := p.rows[kind]
+	if !ok {
+		r = &ProfileRow{Kind: kind}
+		p.rows[kind] = r
+	}
+	r.Calls++
+	r.Seconds += seconds
+	r.Bytes += int64(bytes)
+}
+
+// Reset clears all rows.
+func (p *Profiler) Reset() { p.rows = make(map[string]*ProfileRow) }
+
+// Rows returns the activity classes sorted by descending time.
+func (p *Profiler) Rows() []ProfileRow {
+	out := make([]ProfileRow, 0, len(p.rows))
+	for _, r := range p.rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seconds > out[j].Seconds })
+	return out
+}
+
+// Total returns the summed device-activity time across all kinds.
+func (p *Profiler) Total() float64 {
+	var s float64
+	for _, r := range p.rows {
+		s += r.Seconds
+	}
+	return s
+}
+
+// Share returns kind's fraction of total activity time (0 when idle).
+func (p *Profiler) Share(kinds ...string) float64 {
+	total := p.Total()
+	if total == 0 {
+		return 0
+	}
+	var s float64
+	for _, k := range kinds {
+		if r, ok := p.rows[k]; ok {
+			s += r.Seconds
+		}
+	}
+	return s / total
+}
+
+// String renders an nvprof-like table.
+func (p *Profiler) String() string {
+	var b strings.Builder
+	total := p.Total()
+	fmt.Fprintf(&b, "%-12s %8s %14s %8s %12s\n", "Activity", "Calls", "Time(ms)", "Time%", "Bytes")
+	for _, r := range p.Rows() {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * r.Seconds / total
+		}
+		fmt.Fprintf(&b, "%-12s %8d %14.3f %7.2f%% %12d\n", r.Kind, r.Calls, r.Seconds*1e3, pct, r.Bytes)
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCPUGemmParallelFaster(t *testing.T) {
+	c := Paper().CPU
+	ser := c.GemmTime(1024, 1024, 1024, false)
+	par := c.GemmTime(1024, 1024, 1024, true)
+	if par >= ser {
+		t.Fatalf("parallel GEMM %v not faster than serial %v", par, ser)
+	}
+	wantRatio := float64(c.Cores) * c.ParallelEff
+	if r := ser / par; r < wantRatio*0.99 || r > wantRatio*1.01 {
+		t.Fatalf("parallel speedup %v, want ~%v", r, wantRatio)
+	}
+}
+
+func TestGPUGemmBeatsCPUForLarge(t *testing.T) {
+	p := Paper()
+	n := 4096
+	gpu := p.GPU.GemmTime(n, n, n, false)
+	cpu := p.CPU.GemmTime(n, n, n, true)
+	if gpu >= cpu {
+		t.Fatalf("GPU (%v) must beat CPU (%v) on large GEMM", gpu, cpu)
+	}
+	if ratio := cpu / gpu; ratio < 50 || ratio > 300 {
+		t.Fatalf("large-GEMM GPU/CPU ratio %v outside plausible [50,300]", ratio)
+	}
+}
+
+func TestCPUWinsTinyOps(t *testing.T) {
+	p := Paper()
+	// A 16×16 GEMM: launch latency dominates the GPU.
+	gpu := p.GPU.GemmTime(16, 16, 16, false) + 2*p.PCIe.TransferTime(16*16*4) + p.PCIe.TransferTime(16*16*4)
+	cpu := p.CPU.GemmTime(16, 16, 16, true)
+	if cpu >= gpu {
+		t.Fatalf("CPU (%v) must beat GPU+PCIe (%v) on tiny GEMM", cpu, gpu)
+	}
+}
+
+func TestTensorCoreGainGrowsWithSize(t *testing.T) {
+	g := Paper().GPU
+	gain := func(n int) float64 {
+		return g.GemmTime(n, n, n, false) / g.GemmTime(n, n, n, true)
+	}
+	small, mid, large := gain(256), gain(2048), gain(16384)
+	if small > mid || mid > large {
+		t.Fatalf("tensor-core gain must grow with size: %v %v %v", small, mid, large)
+	}
+	if large < 2.5 || large > 12 {
+		t.Fatalf("large tensor-core gain %v outside the paper's [2.5,12] range", large)
+	}
+	if small < 1 {
+		t.Fatalf("tensor-core path must never be slower (gain %v < 1)", small)
+	}
+}
+
+func TestCuRandCrossover(t *testing.T) {
+	p := Paper()
+	// Fig. 7: CPU MT19937 wins for small matrices, GPU cuRAND (including
+	// the copy back to the host) wins for large ones.
+	gpuRand := func(n int) float64 {
+		return p.GPU.RandTime(n*n) + p.PCIe.TransferTime(4*n*n)
+	}
+	small := 512
+	if cpu, gpu := p.CPU.RandTime(small*small, true), gpuRand(small); cpu >= gpu {
+		t.Fatalf("CPU RNG (%v) should win at n=%d (GPU %v)", cpu, small, gpu)
+	}
+	large := 16384
+	if cpu, gpu := p.CPU.RandTime(large*large, true), gpuRand(large); gpu >= cpu {
+		t.Fatalf("GPU RNG (%v) should win at n=%d (CPU %v)", gpu, large, cpu)
+	}
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	l := LinkModel{Latency: 1e-6, Bandwidth: 1e9}
+	if got := l.TransferTime(0); got != 1e-6 {
+		t.Fatalf("zero-byte transfer %v, want latency only", got)
+	}
+	if got := l.TransferTime(1e9); got < 1.0 || got > 1.001 {
+		t.Fatalf("1 GB over 1 GB/s = %v, want ~1s", got)
+	}
+}
+
+func TestMonotoneCosts(t *testing.T) {
+	p := Paper()
+	f := func(a, b uint16) bool {
+		x, y := int(a%2000)+1, int(b%2000)+1
+		if x > y {
+			x, y = y, x
+		}
+		if p.GPU.GemmTime(x, x, x, false) > p.GPU.GemmTime(y, y, y, false) {
+			return false
+		}
+		if p.GPU.GemmTime(x, x, x, true) > p.GPU.GemmTime(y, y, y, true) {
+			return false
+		}
+		if p.CPU.GemmTime(x, x, x, true) > p.CPU.GemmTime(y, y, y, true) {
+			return false
+		}
+		if p.PCIe.TransferTime(x) > p.PCIe.TransferTime(y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElemwiseParallelFaster(t *testing.T) {
+	c := Paper().CPU
+	if c.ElemwiseTime(1<<20, true) >= c.ElemwiseTime(1<<20, false) {
+		t.Fatal("parallel elementwise must be faster")
+	}
+}
+
+func TestGemmEffRamp(t *testing.T) {
+	// Efficiency at minDim == half must be exactly 50 % of asymptote.
+	if e := gemmRampEff(192, 192); e != 0.5 {
+		t.Fatalf("ramp at half-dim = %v, want 0.5", e)
+	}
+	if e := gemmRampEff(1<<20, 192); e < 0.99 {
+		t.Fatalf("ramp should saturate: %v", e)
+	}
+}
+
+func TestSlowNetSlower(t *testing.T) {
+	fast, slow := Paper().Net, SlowNet().Net
+	if slow.TransferTime(1<<20) <= fast.TransferTime(1<<20) {
+		t.Fatal("SlowNet must be slower than the paper fabric")
+	}
+}
+
+func TestPositiveCosts(t *testing.T) {
+	p := Paper()
+	if p.GPU.GemmTime(1, 1, 1, true) <= 0 ||
+		p.CPU.GemmTime(1, 1, 1, false) <= 0 ||
+		p.GPU.ElemwiseTime(1) <= 0 ||
+		p.CPU.RandTime(1, true) <= 0 ||
+		p.GPU.RandTime(1) <= 0 {
+		t.Fatal("all costs must be strictly positive")
+	}
+}

@@ -1,0 +1,117 @@
+// Package ml is the plaintext machine-learning substrate: the six model
+// families the paper evaluates (CNN, MLP, RNN, linear regression, logistic
+// regression, SVM), dense/convolutional/recurrent layers with SGD
+// training, losses and metrics, and per-layer operation metadata that the
+// hardware cost models consume. The secure counterparts in
+// internal/secureml execute the same architectures through the 2PC engine;
+// this package is both the accuracy oracle and the "original
+// (security-ignorant) machine learning" baseline of Tables 1 and 2.
+package ml
+
+import "math"
+
+// Activation is a pointwise nonlinearity with derivative.
+type Activation int
+
+// Supported activations. Piecewise is the paper's Eq. (9) MPC-friendly
+// function; Identity is used by regression outputs. Sigmoid is the exact
+// logistic function, and SigmoidTaylor its 5th-order Taylor fit around 0 —
+// the alternative the paper considers and rejects ("use Taylor Formula to
+// fit the nonlinear functions ... but the expansion has high
+// complexities", §4.2); both exist so the activation study can quantify
+// that tradeoff.
+const (
+	Identity Activation = iota
+	Piecewise
+	ReLU
+	Sigmoid
+	SigmoidTaylor
+)
+
+// Apply evaluates the activation.
+func (a Activation) Apply(x float32) float32 {
+	switch a {
+	case Piecewise:
+		switch {
+		case x < -0.5:
+			return 0
+		case x > 0.5:
+			return 1
+		default:
+			return x + 0.5
+		}
+	case ReLU:
+		if x > 0 {
+			return x
+		}
+		return 0
+	case Sigmoid:
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	case SigmoidTaylor:
+		return sigmoidTaylor(x)
+	default:
+		return x
+	}
+}
+
+// sigmoidTaylor is the 5th-order Maclaurin expansion of the logistic
+// function, clamped to [0,1] (the series diverges from σ beyond |x|≈2.7).
+func sigmoidTaylor(x float32) float32 {
+	v := 0.5 + x/4 - x*x*x/48 + x*x*x*x*x/480
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}
+
+// sigmoidTaylorDeriv differentiates the clamped expansion.
+func sigmoidTaylorDeriv(x float32) float32 {
+	raw := 0.5 + x/4 - x*x*x/48 + x*x*x*x*x/480
+	if raw < 0 || raw > 1 {
+		return 0
+	}
+	return 0.25 - x*x/16 + x*x*x*x/96
+}
+
+// Deriv evaluates the activation derivative.
+func (a Activation) Deriv(x float32) float32 {
+	switch a {
+	case Piecewise:
+		if x > -0.5 && x < 0.5 {
+			return 1
+		}
+		return 0
+	case ReLU:
+		if x > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		s := 1 / (1 + math.Exp(-float64(x)))
+		return float32(s * (1 - s))
+	case SigmoidTaylor:
+		return sigmoidTaylorDeriv(x)
+	default:
+		return 1
+	}
+}
+
+// String names the activation.
+func (a Activation) String() string {
+	switch a {
+	case Piecewise:
+		return "piecewise"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case SigmoidTaylor:
+		return "sigmoid-taylor"
+	default:
+		return "identity"
+	}
+}

@@ -1,0 +1,134 @@
+package ml
+
+import (
+	"fmt"
+
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+// Conv2D is a single-input-channel 2-D convolution with Filters output
+// channels, lowered to GEMM through im2col (the paper's CNN uses one 5×5
+// convolutional layer, §7.1). Input batches carry one flattened InH×InW
+// image per row; output rows are flattened OutH·OutW·Filters features.
+type Conv2D struct {
+	Shape   tensor.ConvShape
+	Filters int
+	K       *tensor.Matrix // (KH·KW) × Filters
+	B       *tensor.Matrix // 1 × Filters
+	Act     Activation
+
+	dK, dB *tensor.Matrix
+
+	batch int
+	cols  *tensor.Matrix // cached im2col patches
+	pre   *tensor.Matrix // cached pre-activation (batch·patches × filters)
+}
+
+// NewConv2D builds the layer.
+func NewConv2D(shape tensor.ConvShape, filters int, act Activation, r *rng.Rand) *Conv2D {
+	c := &Conv2D{
+		Shape:   shape,
+		Filters: filters,
+		K:       tensor.New(shape.PatchSize(), filters),
+		B:       tensor.New(1, filters),
+		Act:     act,
+		dK:      tensor.New(shape.PatchSize(), filters),
+		dB:      tensor.New(1, filters),
+	}
+	bound := float32(1.0 / float32(shape.PatchSize()))
+	for i := range c.K.Data {
+		c.K.Data[i] = (r.Float32()*2 - 1) * bound
+	}
+	return c
+}
+
+// InitGradients allocates gradient accumulators (deserialization path).
+func (c *Conv2D) InitGradients() {
+	c.dK = tensor.New(c.K.Rows, c.K.Cols)
+	c.dB = tensor.New(1, c.Filters)
+}
+
+// InDim returns the flattened input width (Channels·InH·InW).
+func (c *Conv2D) InDim() int { return c.Shape.InDim() }
+
+// OutDim returns the flattened output width.
+func (c *Conv2D) OutDim() int { return c.Shape.Patches() * c.Filters }
+
+// Forward lowers to patches and multiplies by the kernel matrix.
+func (c *Conv2D) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != c.InDim() {
+		panic(fmt.Sprintf("ml: Conv2D forward input %d, want %d", x.Cols, c.InDim()))
+	}
+	c.batch = x.Rows
+	c.cols = tensor.Im2Col(x, c.Shape) // (batch·patches) × patchSize
+	pre := tensor.MulTo(c.cols, c.K)   // (batch·patches) × filters
+	for r := 0; r < pre.Rows; r++ {
+		row := pre.Row(r)
+		for j := range row {
+			row[j] += c.B.Data[j]
+		}
+	}
+	c.pre = pre
+	act := pre
+	if c.Act != Identity {
+		act = tensor.New(pre.Rows, pre.Cols)
+		tensor.Apply(act, pre, c.Act.Apply)
+	}
+	// Reshape (batch·patches) × filters into batch × (patches·filters).
+	return act.Reshape(c.batch, c.Shape.Patches()*c.Filters).Clone()
+}
+
+// Backward propagates gradients through the lowering.
+func (c *Conv2D) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if c.pre == nil {
+		panic("ml: Conv2D backward before forward")
+	}
+	delta := dout.Reshape(c.batch*c.Shape.Patches(), c.Filters).Clone()
+	if c.Act != Identity {
+		deriv := tensor.New(c.pre.Rows, c.pre.Cols)
+		tensor.Apply(deriv, c.pre, c.Act.Deriv)
+		tensor.Hadamard(delta, delta, deriv)
+	}
+	gk := tensor.New(c.K.Rows, c.K.Cols)
+	tensor.MulATB(gk, c.cols, delta)
+	tensor.Add(c.dK, c.dK, gk)
+	for r := 0; r < delta.Rows; r++ {
+		row := delta.Row(r)
+		for j := range row {
+			c.dB.Data[j] += row[j]
+		}
+	}
+	dcols := tensor.New(delta.Rows, c.K.Rows)
+	tensor.MulABT(dcols, delta, c.K)
+	return tensor.Col2Im(dcols, c.batch, c.Shape)
+}
+
+// Update applies SGD and clears gradients.
+func (c *Conv2D) Update(lr float32) {
+	tensor.AXPY(c.K, -lr, c.dK)
+	tensor.AXPY(c.B, -lr, c.dB)
+	c.dK.Zero()
+	c.dB.Zero()
+}
+
+// ForwardOps reports im2col plus the lowered GEMM.
+func (c *Conv2D) ForwardOps(batch int) []Op {
+	rows := batch * c.Shape.Patches()
+	return []Op{
+		ElemOp(2 * 4 * rows * c.Shape.PatchSize()), // im2col
+		GemmOp(rows, c.Shape.PatchSize(), c.Filters),
+		ElemOp(2 * 4 * rows * c.Filters),
+	}
+}
+
+// BackwardOps reports the gradient GEMMs and col2im.
+func (c *Conv2D) BackwardOps(batch int) []Op {
+	rows := batch * c.Shape.Patches()
+	return []Op{
+		ElemOp(3 * 4 * rows * c.Filters),
+		GemmOp(c.Shape.PatchSize(), rows, c.Filters),
+		GemmOp(rows, c.Filters, c.Shape.PatchSize()),
+		ElemOp(2 * 4 * rows * c.Shape.PatchSize()), // col2im
+	}
+}

@@ -1,0 +1,139 @@
+package ml
+
+import (
+	"fmt"
+
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network. Forward consumes a
+// batch-rows input; Backward consumes ∂L/∂output and returns ∂L/∂input
+// while accumulating parameter gradients; Update applies SGD and clears
+// gradients.
+type Layer interface {
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	Backward(dout *tensor.Matrix) *tensor.Matrix
+	Update(lr float32)
+	// InDim and OutDim are per-sample feature widths.
+	InDim() int
+	OutDim() int
+	// ForwardOps and BackwardOps report the operations of one pass at the
+	// given batch size.
+	ForwardOps(batch int) []Op
+	BackwardOps(batch int) []Op
+}
+
+// Dense is a fully connected layer Y = act(X·W + b).
+type Dense struct {
+	W, B   *tensor.Matrix // W: in×out, B: 1×out
+	Act    Activation
+	dW, dB *tensor.Matrix
+
+	x, pre *tensor.Matrix // cached forward state
+}
+
+// NewDense builds an in×out dense layer with scaled uniform init.
+func NewDense(in, out int, act Activation, r *rng.Rand) *Dense {
+	d := &Dense{
+		W:   tensor.New(in, out),
+		B:   tensor.New(1, out),
+		Act: act,
+		dW:  tensor.New(in, out),
+		dB:  tensor.New(1, out),
+	}
+	bound := float32(1.0 / float32(in))
+	for i := range d.W.Data {
+		d.W.Data[i] = (r.Float32()*2 - 1) * bound
+	}
+	return d
+}
+
+// InitGradients allocates the gradient accumulators for a layer whose
+// weights were set directly (deserialization path).
+func (d *Dense) InitGradients() {
+	d.dW = tensor.New(d.W.Rows, d.W.Cols)
+	d.dB = tensor.New(1, d.W.Cols)
+}
+
+// InDim returns the input width.
+func (d *Dense) InDim() int { return d.W.Rows }
+
+// OutDim returns the output width.
+func (d *Dense) OutDim() int { return d.W.Cols }
+
+// Forward computes act(X·W + b), caching state for Backward.
+func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != d.W.Rows {
+		panic(fmt.Sprintf("ml: Dense forward input %d, want %d", x.Cols, d.W.Rows))
+	}
+	d.x = x
+	pre := tensor.MulTo(x, d.W)
+	for r := 0; r < pre.Rows; r++ {
+		row := pre.Row(r)
+		for c := range row {
+			row[c] += d.B.Data[c]
+		}
+	}
+	d.pre = pre
+	if d.Act == Identity {
+		return pre.Clone()
+	}
+	out := tensor.New(pre.Rows, pre.Cols)
+	tensor.Apply(out, pre, d.Act.Apply)
+	return out
+}
+
+// Backward computes gradients given ∂L/∂Y.
+func (d *Dense) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if d.pre == nil {
+		panic("ml: Dense backward before forward")
+	}
+	// δ = dout ⊙ act'(pre)
+	delta := dout.Clone()
+	if d.Act != Identity {
+		deriv := tensor.New(d.pre.Rows, d.pre.Cols)
+		tensor.Apply(deriv, d.pre, d.Act.Deriv)
+		tensor.Hadamard(delta, delta, deriv)
+	}
+	// dW += Xᵀ·δ ; dB += colsum(δ) ; dX = δ·Wᵀ
+	gw := tensor.New(d.W.Rows, d.W.Cols)
+	tensor.MulATB(gw, d.x, delta)
+	tensor.Add(d.dW, d.dW, gw)
+	for r := 0; r < delta.Rows; r++ {
+		row := delta.Row(r)
+		for c := range row {
+			d.dB.Data[c] += row[c]
+		}
+	}
+	dx := tensor.New(delta.Rows, d.W.Rows)
+	tensor.MulABT(dx, delta, d.W)
+	return dx
+}
+
+// Update applies SGD with learning rate lr (normalized by batch inside the
+// loss gradient) and zeroes the gradients.
+func (d *Dense) Update(lr float32) {
+	tensor.AXPY(d.W, -lr, d.dW)
+	tensor.AXPY(d.B, -lr, d.dB)
+	d.dW.Zero()
+	d.dB.Zero()
+}
+
+// ForwardOps reports X·W (GEMM) plus bias/activation passes.
+func (d *Dense) ForwardOps(batch int) []Op {
+	return []Op{
+		GemmOp(batch, d.W.Rows, d.W.Cols),
+		ElemOp(2 * 4 * batch * d.W.Cols),
+	}
+}
+
+// BackwardOps reports δ masking, XᵀḊ, δ·Wᵀ and update passes.
+func (d *Dense) BackwardOps(batch int) []Op {
+	return []Op{
+		ElemOp(3 * 4 * batch * d.W.Cols),
+		GemmOp(d.W.Rows, batch, d.W.Cols), // dW = Xᵀδ
+		GemmOp(batch, d.W.Cols, d.W.Rows), // dX = δWᵀ
+		ElemOp(3 * 4 * d.W.Rows * d.W.Cols),
+	}
+}

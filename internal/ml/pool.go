@@ -1,0 +1,114 @@
+package ml
+
+import (
+	"fmt"
+
+	"parsecureml/internal/tensor"
+)
+
+// AvgPool is 2-D average pooling over non-overlapping windows. Average
+// pooling is linear, so its secure counterpart applies share-locally with
+// no protocol cost — the pooling choice the MPC literature prefers over
+// max pooling (which needs comparisons). Inputs carry Channels feature
+// maps per row, laid out channel-major: [c0 row-major | c1 | …].
+type AvgPool struct {
+	InH, InW, Channels int
+	Win                int // window edge (stride == window: non-overlapping)
+	OutH, OutW         int
+
+	batch int
+}
+
+// NewAvgPool builds the layer; the input height/width must be divisible
+// by the window.
+func NewAvgPool(inH, inW, channels, win int) *AvgPool {
+	if win < 1 || inH%win != 0 || inW%win != 0 {
+		panic(fmt.Sprintf("ml: AvgPool %dx%d not divisible by window %d", inH, inW, win))
+	}
+	return &AvgPool{
+		InH: inH, InW: inW, Channels: channels, Win: win,
+		OutH: inH / win, OutW: inW / win,
+	}
+}
+
+// InDim returns Channels·InH·InW.
+func (p *AvgPool) InDim() int { return p.Channels * p.InH * p.InW }
+
+// OutDim returns Channels·OutH·OutW.
+func (p *AvgPool) OutDim() int { return p.Channels * p.OutH * p.OutW }
+
+// Forward averages each window.
+func (p *AvgPool) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != p.InDim() {
+		panic(fmt.Sprintf("ml: AvgPool forward input %d, want %d", x.Cols, p.InDim()))
+	}
+	p.batch = x.Rows
+	out := tensor.New(x.Rows, p.OutDim())
+	if !tensor.ComputeEnabled() {
+		return out
+	}
+	inv := 1 / float32(p.Win*p.Win)
+	for b := 0; b < x.Rows; b++ {
+		in := x.Row(b)
+		dst := out.Row(b)
+		for c := 0; c < p.Channels; c++ {
+			inC := in[c*p.InH*p.InW:]
+			dstC := dst[c*p.OutH*p.OutW:]
+			for oy := 0; oy < p.OutH; oy++ {
+				for ox := 0; ox < p.OutW; ox++ {
+					var acc float32
+					for wy := 0; wy < p.Win; wy++ {
+						row := inC[(oy*p.Win+wy)*p.InW+ox*p.Win:]
+						for wx := 0; wx < p.Win; wx++ {
+							acc += row[wx]
+						}
+					}
+					dstC[oy*p.OutW+ox] = acc * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward distributes each output gradient uniformly over its window.
+func (p *AvgPool) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(p.batch, p.InDim())
+	if !tensor.ComputeEnabled() {
+		return dx
+	}
+	inv := 1 / float32(p.Win*p.Win)
+	for b := 0; b < dout.Rows; b++ {
+		g := dout.Row(b)
+		dst := dx.Row(b)
+		for c := 0; c < p.Channels; c++ {
+			gC := g[c*p.OutH*p.OutW:]
+			dstC := dst[c*p.InH*p.InW:]
+			for oy := 0; oy < p.OutH; oy++ {
+				for ox := 0; ox < p.OutW; ox++ {
+					v := gC[oy*p.OutW+ox] * inv
+					for wy := 0; wy < p.Win; wy++ {
+						row := dstC[(oy*p.Win+wy)*p.InW+ox*p.Win:]
+						for wx := 0; wx < p.Win; wx++ {
+							row[wx] += v
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Update is a no-op: pooling has no parameters.
+func (p *AvgPool) Update(lr float32) {}
+
+// ForwardOps reports one streaming pass.
+func (p *AvgPool) ForwardOps(batch int) []Op {
+	return []Op{ElemOp(4 * batch * (p.InDim() + p.OutDim()))}
+}
+
+// BackwardOps reports one streaming pass.
+func (p *AvgPool) BackwardOps(batch int) []Op {
+	return []Op{ElemOp(4 * batch * (p.InDim() + p.OutDim()))}
+}

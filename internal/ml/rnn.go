@@ -1,0 +1,177 @@
+package ml
+
+import (
+	"fmt"
+
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+// RNN is an Elman recurrent layer unrolled over Steps timesteps:
+//
+//	h_t = act(x_t·Wx + h_{t−1}·Wh + b)
+//
+// The batch input packs the timesteps side by side: each row is
+// [x_1 | x_2 | … | x_T] with per-step width InStep. The output is the
+// final hidden state h_T (batch × Hidden), trained with backpropagation
+// through time.
+type RNN struct {
+	InStep, Hidden, Steps int
+	Wx                    *tensor.Matrix // InStep × Hidden
+	Wh                    *tensor.Matrix // Hidden × Hidden
+	B                     *tensor.Matrix // 1 × Hidden
+	Act                   Activation
+
+	dWx, dWh, dB *tensor.Matrix
+
+	xs   []*tensor.Matrix // cached step inputs
+	pres []*tensor.Matrix // cached pre-activations per step
+	hs   []*tensor.Matrix // cached hidden states (hs[0] is zeros)
+}
+
+// NewRNN builds the unrolled cell.
+func NewRNN(inStep, hidden, steps int, act Activation, r *rng.Rand) *RNN {
+	n := &RNN{
+		InStep: inStep, Hidden: hidden, Steps: steps,
+		Wx:  tensor.New(inStep, hidden),
+		Wh:  tensor.New(hidden, hidden),
+		B:   tensor.New(1, hidden),
+		Act: act,
+		dWx: tensor.New(inStep, hidden),
+		dWh: tensor.New(hidden, hidden),
+		dB:  tensor.New(1, hidden),
+	}
+	bx := float32(1.0 / float32(inStep))
+	for i := range n.Wx.Data {
+		n.Wx.Data[i] = (r.Float32()*2 - 1) * bx
+	}
+	bh := float32(1.0 / float32(hidden))
+	for i := range n.Wh.Data {
+		n.Wh.Data[i] = (r.Float32()*2 - 1) * bh
+	}
+	return n
+}
+
+// InitGradients allocates gradient accumulators (deserialization path).
+func (n *RNN) InitGradients() {
+	n.dWx = tensor.New(n.InStep, n.Hidden)
+	n.dWh = tensor.New(n.Hidden, n.Hidden)
+	n.dB = tensor.New(1, n.Hidden)
+}
+
+// InDim returns Steps·InStep.
+func (n *RNN) InDim() int { return n.Steps * n.InStep }
+
+// OutDim returns the hidden width.
+func (n *RNN) OutDim() int { return n.Hidden }
+
+// Forward unrolls the recurrence.
+func (n *RNN) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != n.InDim() {
+		panic(fmt.Sprintf("ml: RNN forward input %d, want %d", x.Cols, n.InDim()))
+	}
+	batch := x.Rows
+	n.xs = n.xs[:0]
+	n.pres = n.pres[:0]
+	n.hs = n.hs[:0]
+	h := tensor.New(batch, n.Hidden)
+	n.hs = append(n.hs, h)
+	for t := 0; t < n.Steps; t++ {
+		xt := tensor.New(batch, n.InStep)
+		for r := 0; r < batch; r++ {
+			copy(xt.Row(r), x.Row(r)[t*n.InStep:(t+1)*n.InStep])
+		}
+		n.xs = append(n.xs, xt)
+		pre := tensor.MulTo(xt, n.Wx)
+		hw := tensor.MulTo(h, n.Wh)
+		tensor.Add(pre, pre, hw)
+		for r := 0; r < batch; r++ {
+			row := pre.Row(r)
+			for c := range row {
+				row[c] += n.B.Data[c]
+			}
+		}
+		n.pres = append(n.pres, pre)
+		h = tensor.New(batch, n.Hidden)
+		tensor.Apply(h, pre, n.Act.Apply)
+		n.hs = append(n.hs, h)
+	}
+	return h.Clone()
+}
+
+// Backward runs truncated BPTT over the full unroll.
+func (n *RNN) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if len(n.pres) == 0 {
+		panic("ml: RNN backward before forward")
+	}
+	batch := dout.Rows
+	dx := tensor.New(batch, n.InDim())
+	dh := dout.Clone()
+	for t := n.Steps - 1; t >= 0; t-- {
+		deriv := tensor.New(batch, n.Hidden)
+		tensor.Apply(deriv, n.pres[t], n.Act.Deriv)
+		delta := tensor.New(batch, n.Hidden)
+		tensor.Hadamard(delta, dh, deriv)
+
+		g := tensor.New(n.InStep, n.Hidden)
+		tensor.MulATB(g, n.xs[t], delta)
+		tensor.Add(n.dWx, n.dWx, g)
+		gh := tensor.New(n.Hidden, n.Hidden)
+		tensor.MulATB(gh, n.hs[t], delta)
+		tensor.Add(n.dWh, n.dWh, gh)
+		for r := 0; r < batch; r++ {
+			row := delta.Row(r)
+			for c := range row {
+				n.dB.Data[c] += row[c]
+			}
+		}
+
+		dxt := tensor.New(batch, n.InStep)
+		tensor.MulABT(dxt, delta, n.Wx)
+		for r := 0; r < batch; r++ {
+			copy(dx.Row(r)[t*n.InStep:(t+1)*n.InStep], dxt.Row(r))
+		}
+		dhPrev := tensor.New(batch, n.Hidden)
+		tensor.MulABT(dhPrev, delta, n.Wh)
+		dh = dhPrev
+	}
+	return dx
+}
+
+// Update applies SGD and clears gradients.
+func (n *RNN) Update(lr float32) {
+	tensor.AXPY(n.Wx, -lr, n.dWx)
+	tensor.AXPY(n.Wh, -lr, n.dWh)
+	tensor.AXPY(n.B, -lr, n.dB)
+	n.dWx.Zero()
+	n.dWh.Zero()
+	n.dB.Zero()
+}
+
+// ForwardOps reports per-step GEMMs over the unroll.
+func (n *RNN) ForwardOps(batch int) []Op {
+	ops := make([]Op, 0, 3*n.Steps)
+	for t := 0; t < n.Steps; t++ {
+		ops = append(ops,
+			GemmOp(batch, n.InStep, n.Hidden),
+			GemmOp(batch, n.Hidden, n.Hidden),
+			ElemOp(3*4*batch*n.Hidden),
+		)
+	}
+	return ops
+}
+
+// BackwardOps reports the BPTT GEMMs.
+func (n *RNN) BackwardOps(batch int) []Op {
+	ops := make([]Op, 0, 5*n.Steps)
+	for t := 0; t < n.Steps; t++ {
+		ops = append(ops,
+			ElemOp(3*4*batch*n.Hidden),
+			GemmOp(n.InStep, batch, n.Hidden),
+			GemmOp(n.Hidden, batch, n.Hidden),
+			GemmOp(batch, n.Hidden, n.InStep),
+			GemmOp(batch, n.Hidden, n.Hidden),
+		)
+	}
+	return ops
+}

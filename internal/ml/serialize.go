@@ -1,0 +1,344 @@
+package ml
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"parsecureml/internal/tensor"
+)
+
+// Model serialization: a compact, versioned binary format so a model
+// trained in one process (securely or not) can be served from another —
+// the client's "download the final model" step made durable. Matrices use
+// the tensor wire codec; everything is little-endian.
+//
+//	magic "PSML" | u32 version | name | u32 lossTag | u32 layerCount |
+//	layers: u32 typeTag + type-specific fields
+//
+// Strings are u32-length-prefixed UTF-8.
+
+const (
+	modelMagic   = "PSMLMODL"
+	modelVersion = 1
+)
+
+// Layer type tags.
+const (
+	tagLayerDense uint32 = iota + 1
+	tagLayerConv
+	tagLayerRNN
+	tagLayerAvgPool
+)
+
+// Loss tags.
+const (
+	tagLossMSE uint32 = iota + 1
+	tagLossHinge
+)
+
+type countingWriter struct {
+	w *bufio.Writer
+}
+
+func (cw countingWriter) u32(v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := cw.w.Write(b[:])
+	return err
+}
+
+func (cw countingWriter) str(s string) error {
+	if err := cw.u32(uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := cw.w.WriteString(s)
+	return err
+}
+
+func (cw countingWriter) matrix(m *tensor.Matrix) error {
+	frame := tensor.EncodeMatrix(nil, m)
+	if err := cw.u32(uint32(len(frame))); err != nil {
+		return err
+	}
+	_, err := cw.w.Write(frame)
+	return err
+}
+
+// Save writes the model to w.
+func Save(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	cw := countingWriter{bw}
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return err
+	}
+	if err := cw.u32(modelVersion); err != nil {
+		return err
+	}
+	if err := cw.str(m.Name); err != nil {
+		return err
+	}
+	lossTag := tagLossMSE
+	if _, ok := m.Loss.(Hinge); ok {
+		lossTag = tagLossHinge
+	}
+	if err := cw.u32(lossTag); err != nil {
+		return err
+	}
+	if err := cw.u32(uint32(len(m.Layers))); err != nil {
+		return err
+	}
+	for _, l := range m.Layers {
+		switch lt := l.(type) {
+		case *Dense:
+			if err := cw.u32(tagLayerDense); err != nil {
+				return err
+			}
+			if err := cw.u32(uint32(lt.Act)); err != nil {
+				return err
+			}
+			if err := cw.matrix(lt.W); err != nil {
+				return err
+			}
+			if err := cw.matrix(lt.B); err != nil {
+				return err
+			}
+		case *Conv2D:
+			if err := cw.u32(tagLayerConv); err != nil {
+				return err
+			}
+			for _, v := range []uint32{
+				uint32(lt.Shape.InH), uint32(lt.Shape.InW), uint32(lt.Shape.InChannels()),
+				uint32(lt.Shape.KH), uint32(lt.Shape.KW),
+				uint32(lt.Shape.Stride), uint32(lt.Shape.Pad),
+				uint32(lt.Filters), uint32(lt.Act),
+			} {
+				if err := cw.u32(v); err != nil {
+					return err
+				}
+			}
+			if err := cw.matrix(lt.K); err != nil {
+				return err
+			}
+			if err := cw.matrix(lt.B); err != nil {
+				return err
+			}
+		case *RNN:
+			if err := cw.u32(tagLayerRNN); err != nil {
+				return err
+			}
+			for _, v := range []uint32{
+				uint32(lt.InStep), uint32(lt.Hidden), uint32(lt.Steps), uint32(lt.Act),
+			} {
+				if err := cw.u32(v); err != nil {
+					return err
+				}
+			}
+			if err := cw.matrix(lt.Wx); err != nil {
+				return err
+			}
+			if err := cw.matrix(lt.Wh); err != nil {
+				return err
+			}
+			if err := cw.matrix(lt.B); err != nil {
+				return err
+			}
+		case *AvgPool:
+			if err := cw.u32(tagLayerAvgPool); err != nil {
+				return err
+			}
+			for _, v := range []uint32{
+				uint32(lt.InH), uint32(lt.InW), uint32(lt.Channels), uint32(lt.Win),
+			} {
+				if err := cw.u32(v); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("ml: cannot serialize layer type %T", l)
+		}
+	}
+	return bw.Flush()
+}
+
+type reader struct {
+	r *bufio.Reader
+}
+
+func (rd reader) u32() (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(rd.r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (rd reader) str() (string, error) {
+	n, err := rd.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("ml: string of %d bytes", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rd.r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (rd reader) matrix() (*tensor.Matrix, error) {
+	n, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<30 {
+		return nil, fmt.Errorf("ml: matrix frame of %d bytes", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(rd.r, frame); err != nil {
+		return nil, err
+	}
+	m, used, err := tensor.DecodeMatrix(frame)
+	if err != nil {
+		return nil, err
+	}
+	if used != int(n) {
+		return nil, fmt.Errorf("ml: matrix frame trailing bytes")
+	}
+	return m, nil
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	rd := reader{bufio.NewReader(r)}
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(rd.r, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("ml: bad model magic %q", magic)
+	}
+	version, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != modelVersion {
+		return nil, fmt.Errorf("ml: unsupported model version %d", version)
+	}
+	name, err := rd.str()
+	if err != nil {
+		return nil, err
+	}
+	lossTag, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	var loss Loss
+	switch lossTag {
+	case tagLossMSE:
+		loss = MSE{}
+	case tagLossHinge:
+		loss = Hinge{}
+	default:
+		return nil, fmt.Errorf("ml: unknown loss tag %d", lossTag)
+	}
+	count, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	if count < 1 || count > 1024 {
+		return nil, fmt.Errorf("ml: layer count %d", count)
+	}
+	layers := make([]Layer, 0, count)
+	for i := uint32(0); i < count; i++ {
+		tag, err := rd.u32()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagLayerDense:
+			act, err := rd.u32()
+			if err != nil {
+				return nil, err
+			}
+			w, err := rd.matrix()
+			if err != nil {
+				return nil, err
+			}
+			b, err := rd.matrix()
+			if err != nil {
+				return nil, err
+			}
+			if b.Rows != 1 || b.Cols != w.Cols {
+				return nil, fmt.Errorf("ml: dense bias %dx%d for %d outputs", b.Rows, b.Cols, w.Cols)
+			}
+			d := &Dense{W: w, B: b, Act: Activation(act)}
+			d.InitGradients()
+			layers = append(layers, d)
+		case tagLayerConv:
+			var vals [9]uint32
+			for j := range vals {
+				if vals[j], err = rd.u32(); err != nil {
+					return nil, err
+				}
+			}
+			k, err := rd.matrix()
+			if err != nil {
+				return nil, err
+			}
+			b, err := rd.matrix()
+			if err != nil {
+				return nil, err
+			}
+			shape := tensor.NewConvShapeCh(int(vals[0]), int(vals[1]), int(vals[2]), int(vals[3]), int(vals[4]), int(vals[5]), int(vals[6]))
+			if k.Rows != shape.PatchSize() || k.Cols != int(vals[7]) {
+				return nil, fmt.Errorf("ml: conv kernel %dx%d for %d filters", k.Rows, k.Cols, vals[7])
+			}
+			c := &Conv2D{Shape: shape, Filters: int(vals[7]), Act: Activation(vals[8]), K: k, B: b}
+			c.InitGradients()
+			layers = append(layers, c)
+		case tagLayerRNN:
+			var vals [4]uint32
+			for j := range vals {
+				if vals[j], err = rd.u32(); err != nil {
+					return nil, err
+				}
+			}
+			wx, err := rd.matrix()
+			if err != nil {
+				return nil, err
+			}
+			wh, err := rd.matrix()
+			if err != nil {
+				return nil, err
+			}
+			b, err := rd.matrix()
+			if err != nil {
+				return nil, err
+			}
+			n := &RNN{
+				InStep: int(vals[0]), Hidden: int(vals[1]), Steps: int(vals[2]),
+				Act: Activation(vals[3]), Wx: wx, Wh: wh, B: b,
+			}
+			if wx.Rows != n.InStep || wx.Cols != n.Hidden || wh.Rows != n.Hidden || wh.Cols != n.Hidden {
+				return nil, fmt.Errorf("ml: RNN weight shapes inconsistent")
+			}
+			n.InitGradients()
+			layers = append(layers, n)
+		case tagLayerAvgPool:
+			var vals [4]uint32
+			for j := range vals {
+				if vals[j], err = rd.u32(); err != nil {
+					return nil, err
+				}
+			}
+			layers = append(layers, NewAvgPool(int(vals[0]), int(vals[1]), int(vals[2]), int(vals[3])))
+		default:
+			return nil, fmt.Errorf("ml: unknown layer tag %d", tag)
+		}
+	}
+	return NewModel(name, loss, layers...), nil
+}

@@ -1,0 +1,176 @@
+package ml
+
+import (
+	"math"
+
+	"parsecureml/internal/tensor"
+)
+
+// SMO trains a linear soft-margin SVM with the sequential minimal
+// optimization algorithm (Platt 1998, simplified working-set selection),
+// the training method the paper cites for its SVM benchmark (§7.1, [55]).
+// Targets are ±1; the returned classifier is f(x) = w·x + b — the
+// inference form (w^T x + b) the paper evaluates securely.
+type SMO struct {
+	C       float64 // box constraint
+	Tol     float64 // KKT tolerance
+	MaxIter int     // passes without progress before stopping
+
+	W *tensor.Matrix // 1 × d
+	B float64
+	// Alphas holds the dual variables after Train.
+	Alphas []float64
+}
+
+// NewSMO returns a trainer with standard defaults.
+func NewSMO(c float64) *SMO {
+	return &SMO{C: c, Tol: 1e-3, MaxIter: 20}
+}
+
+// Train fits the SVM on x (rows = samples) and ±1 labels y.
+func (s *SMO) Train(x *tensor.Matrix, y []float32) {
+	n, d := x.Rows, x.Cols
+	alpha := make([]float64, n)
+	b := 0.0
+
+	// Linear kernel cache: K(i,j) = x_i·x_j computed on demand.
+	dot := func(i, j int) float64 {
+		ri, rj := x.Row(i), x.Row(j)
+		var s float64
+		for k := range ri {
+			s += float64(ri[k]) * float64(rj[k])
+		}
+		return s
+	}
+	// f(i) via the weight vector maintained incrementally.
+	w := make([]float64, d)
+	f := func(i int) float64 {
+		ri := x.Row(i)
+		var s float64
+		for k := range ri {
+			s += w[k] * float64(ri[k])
+		}
+		return s + b
+	}
+	updateW := func(i int, delta float64) {
+		ri := x.Row(i)
+		for k := range ri {
+			w[k] += delta * float64(y[i]) * float64(ri[k])
+		}
+	}
+
+	passes := 0
+	for passes < s.MaxIter {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - float64(y[i])
+			yi := float64(y[i])
+			if (yi*ei < -s.Tol && alpha[i] < s.C) || (yi*ei > s.Tol && alpha[i] > 0) {
+				// Second index: maximal |E_i − E_j| heuristic over a
+				// bounded deterministic candidate window.
+				j := -1
+				var bestGap float64
+				for step := 1; step < n && step <= 101; step++ {
+					cand := (i + step*7) % n
+					if cand == i {
+						continue
+					}
+					gap := math.Abs(ei - (f(cand) - float64(y[cand])))
+					if gap > bestGap {
+						bestGap, j = gap, cand
+					}
+				}
+				if j < 0 {
+					continue
+				}
+				ej := f(j) - float64(y[j])
+				yj := float64(y[j])
+
+				ai, aj := alpha[i], alpha[j]
+				var lo, hi float64
+				if yi != yj {
+					lo = math.Max(0, aj-ai)
+					hi = math.Min(s.C, s.C+aj-ai)
+				} else {
+					lo = math.Max(0, ai+aj-s.C)
+					hi = math.Min(s.C, ai+aj)
+				}
+				if lo == hi {
+					continue
+				}
+				eta := 2*dot(i, j) - dot(i, i) - dot(j, j)
+				if eta >= 0 {
+					continue
+				}
+				ajNew := aj - yj*(ei-ej)/eta
+				if ajNew > hi {
+					ajNew = hi
+				} else if ajNew < lo {
+					ajNew = lo
+				}
+				if math.Abs(ajNew-aj) < 1e-6 {
+					continue
+				}
+				aiNew := ai + yi*yj*(aj-ajNew)
+
+				// Threshold update (Platt's rules).
+				b1 := b - ei - yi*(aiNew-ai)*dot(i, i) - yj*(ajNew-aj)*dot(i, j)
+				b2 := b - ej - yi*(aiNew-ai)*dot(i, j) - yj*(ajNew-aj)*dot(j, j)
+				switch {
+				case aiNew > 0 && aiNew < s.C:
+					b = b1
+				case ajNew > 0 && ajNew < s.C:
+					b = b2
+				default:
+					b = (b1 + b2) / 2
+				}
+
+				updateW(i, aiNew-ai)
+				updateW(j, ajNew-aj)
+				alpha[i], alpha[j] = aiNew, ajNew
+				changed++
+			}
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	s.Alphas = alpha
+	s.B = b
+	s.W = tensor.New(1, d)
+	for k := range w {
+		s.W.Data[k] = float32(w[k])
+	}
+}
+
+// Decision returns w·x + b for each row of x.
+func (s *SMO) Decision(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows, 1)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		var acc float64
+		for k, v := range row {
+			acc += float64(s.W.Data[k]) * float64(v)
+		}
+		out.Set(r, 0, float32(acc+s.B))
+	}
+	return out
+}
+
+// Accuracy scores ±1 labels by decision sign.
+func (s *SMO) Accuracy(x *tensor.Matrix, y []float32) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	dec := s.Decision(x)
+	correct := 0
+	for i, v := range dec.Data {
+		if (v >= 0) == (y[i] >= 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(x.Rows)
+}

@@ -1,0 +1,134 @@
+package mpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"parsecureml/internal/comm"
+	"parsecureml/internal/tensor"
+)
+
+// Wire service: a long-running computation server speaking the framed
+// protocol. A client uploads its shares (A_i, B_i, U_i, V_i, Z_i) to each
+// server; the servers run the Beaver exchange between themselves and
+// return C_i. cmd/psml-server wraps this in a binary, so the two parties
+// can be separate processes (or machines) — the deployment shape of
+// Fig. 1b with TCP standing in for MPI.
+
+// EncodeShares serializes one party's multiplication inputs as a single
+// frame: A, B, U, V, Z in order.
+func EncodeShares(in Shares) []byte {
+	frame := tensor.EncodeMatrix(nil, in.A)
+	frame = tensor.EncodeMatrix(frame, in.B)
+	frame = tensor.EncodeMatrix(frame, in.T.U)
+	frame = tensor.EncodeMatrix(frame, in.T.V)
+	return tensor.EncodeMatrix(frame, in.T.Z)
+}
+
+// DecodeShares parses a frame produced by EncodeShares.
+func DecodeShares(frame []byte) (Shares, error) {
+	var out Shares
+	mats := make([]*tensor.Matrix, 5)
+	off := 0
+	for i := range mats {
+		m, n, err := tensor.DecodeMatrix(frame[off:])
+		if err != nil {
+			return out, fmt.Errorf("mpc: shares frame matrix %d: %w", i, err)
+		}
+		mats[i] = m
+		off += n
+	}
+	if off != len(frame) {
+		return out, fmt.Errorf("mpc: shares frame has %d trailing bytes", len(frame)-off)
+	}
+	out.A, out.B = mats[0], mats[1]
+	out.T = TripletShares{U: mats[2], V: mats[3], Z: mats[4]}
+	return out, nil
+}
+
+// ServeTriplet handles one multiplication request: read the client's
+// shares frame, run the party's protocol against the peer, return C_i to
+// the client. io.EOF from the client ends a serving loop cleanly.
+func ServeTriplet(party int, client, peer *comm.Conn) error {
+	frame, err := client.ReadFrame()
+	if err != nil {
+		return err // including io.EOF: client done
+	}
+	in, err := DecodeShares(frame)
+	if err != nil {
+		return err
+	}
+	ci, err := RemoteParty(party, peer, in)
+	if err != nil {
+		return err
+	}
+	return client.WriteFrame(tensor.EncodeMatrix(nil, ci))
+}
+
+// ServeLoop runs ServeTriplet until the client disconnects.
+func ServeLoop(party int, client, peer *comm.Conn) error {
+	for {
+		if err := ServeTriplet(party, client, peer); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+				return nil // client done
+			}
+			return err
+		}
+	}
+}
+
+// RequestMul is the client side of one remote multiplication: send the
+// pre-split shares to both servers, collect and merge the result shares.
+func RequestMul(s0, s1 *comm.Conn, in0, in1 Shares) (*tensor.Matrix, error) {
+	if err := s0.WriteFrame(EncodeShares(in0)); err != nil {
+		return nil, fmt.Errorf("mpc: upload to server 0: %w", err)
+	}
+	if err := s1.WriteFrame(EncodeShares(in1)); err != nil {
+		return nil, fmt.Errorf("mpc: upload to server 1: %w", err)
+	}
+	f0, err := s0.ReadFrame()
+	if err != nil {
+		return nil, fmt.Errorf("mpc: result from server 0: %w", err)
+	}
+	f1, err := s1.ReadFrame()
+	if err != nil {
+		return nil, fmt.Errorf("mpc: result from server 1: %w", err)
+	}
+	c0, _, err := tensor.DecodeMatrix(f0)
+	if err != nil {
+		return nil, err
+	}
+	c1, _, err := tensor.DecodeMatrix(f1)
+	if err != nil {
+		return nil, err
+	}
+	return RemoteCombine(c0, c1), nil
+}
+
+// handshake tags so two psml-server processes can agree on who they are.
+const (
+	helloMagic = 0x50534d4c // "PSML"
+)
+
+// WriteHello sends a role handshake (party index) on a fresh connection.
+func WriteHello(c *comm.Conn, party int) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], helloMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(party))
+	return c.WriteFrame(buf[:])
+}
+
+// ReadHello validates the handshake and returns the peer's party index.
+func ReadHello(c *comm.Conn) (int, error) {
+	frame, err := c.ReadFrame()
+	if err != nil {
+		return 0, err
+	}
+	if len(frame) != 8 || binary.LittleEndian.Uint32(frame[:4]) != helloMagic {
+		return 0, fmt.Errorf("mpc: bad hello frame")
+	}
+	return int(binary.LittleEndian.Uint32(frame[4:])), nil
+}

@@ -1,0 +1,124 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parsecureml/internal/simtime"
+)
+
+func twoStages(eng *simtime.Engine, d1, d2 float64) []Stage {
+	return []Stage{
+		{Res: eng.Resource("reconstruct"), Kind: "reconstruct", Dur: func(int) float64 { return d1 }},
+		{Res: eng.Resource("gpu"), Kind: "gpuop", Dur: func(int) float64 { return d2 }},
+	}
+}
+
+func TestSerialEqualsSum(t *testing.T) {
+	eng := simtime.NewEngine()
+	res := Run(eng, twoStages(eng, 2, 3), 4, false)
+	if got, want := res.Makespan, 4*(2.0+3.0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("serial makespan %v, want %v", got, want)
+	}
+}
+
+func TestOverlappedMatchesBound(t *testing.T) {
+	eng := simtime.NewEngine()
+	res := Run(eng, twoStages(eng, 2, 3), 4, true)
+	want := BoundSpan([]float64{2, 3}, 4) // 5 + 3*3 = 14
+	if math.Abs(res.Makespan-want) > 1e-12 {
+		t.Fatalf("overlapped makespan %v, want %v", res.Makespan, want)
+	}
+	if res.Makespan >= 4*(2.0+3.0) {
+		t.Fatal("overlap must beat serial")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	// The paper's claim: pipelining saves one reconstruct per layer. With
+	// reconstruct r and GPU op g per layer over L layers:
+	// serial = L(r+g); pipelined ≈ r + L·g when g ≥ r.
+	const layers = 8
+	mk := func(eng *simtime.Engine) []Stage { return twoStages(eng, 1, 4) }
+	serial, overlapped, ratio := Gain(mk, layers)
+	if math.Abs(serial-layers*5.0) > 1e-9 {
+		t.Fatalf("serial %v", serial)
+	}
+	if math.Abs(overlapped-(1+layers*4.0)) > 1e-9 {
+		t.Fatalf("overlapped %v, want %v", overlapped, 1+layers*4.0)
+	}
+	if ratio <= 1 {
+		t.Fatalf("ratio %v", ratio)
+	}
+}
+
+func TestVariableDurations(t *testing.T) {
+	eng := simtime.NewEngine()
+	stages := []Stage{
+		{Res: eng.Resource("a"), Kind: "a", Dur: func(r int) float64 { return float64(r + 1) }},
+		{Res: eng.Resource("b"), Kind: "b", Dur: func(r int) float64 { return 1 }},
+	}
+	res := Run(eng, stages, 3, true)
+	// Stage a serializes 1+2+3 = 6; last b waits for a[2] at 6, ends 7.
+	if math.Abs(res.Makespan-7) > 1e-12 {
+		t.Fatalf("makespan %v, want 7", res.Makespan)
+	}
+	if len(res.Last) != 3 || res.Last[2].End != res.Makespan {
+		t.Fatal("Last tasks inconsistent")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	eng := simtime.NewEngine()
+	if r := Run(eng, nil, 5, true); r.Makespan != 0 || r.Last != nil {
+		t.Fatal("nil stages must be a no-op")
+	}
+	if r := Run(eng, twoStages(eng, 1, 1), 0, true); r.Makespan != 0 {
+		t.Fatal("zero rounds must be a no-op")
+	}
+}
+
+// Properties: overlapped ≤ serial always; overlapped ≥ slowest-stage total;
+// overlapped ≥ BoundSpan for constant durations (equality for 2 stages).
+func TestScheduleInvariants(t *testing.T) {
+	f := func(d1u, d2u, d3u uint8, roundsU uint8) bool {
+		d1 := float64(d1u%50) / 10
+		d2 := float64(d2u%50) / 10
+		d3 := float64(d3u%50) / 10
+		rounds := int(roundsU%6) + 1
+		mk := func(eng *simtime.Engine) []Stage {
+			return []Stage{
+				{Res: eng.Resource("x"), Kind: "x", Dur: func(int) float64 { return d1 }},
+				{Res: eng.Resource("y"), Kind: "y", Dur: func(int) float64 { return d2 }},
+				{Res: eng.Resource("z"), Kind: "z", Dur: func(int) float64 { return d3 }},
+			}
+		}
+		serial, overlapped, _ := Gain(mk, rounds)
+		if overlapped > serial+1e-9 {
+			return false
+		}
+		bound := BoundSpan([]float64{d1, d2, d3}, rounds)
+		if overlapped+1e-9 < bound {
+			return false
+		}
+		return math.Abs(serial-SerialSpan(mk(simtime.NewEngine()), rounds)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedResourceSerializes(t *testing.T) {
+	// Two stages on the SAME resource cannot overlap across rounds.
+	eng := simtime.NewEngine()
+	r := eng.Resource("only")
+	stages := []Stage{
+		{Res: r, Kind: "s1", Dur: func(int) float64 { return 1 }},
+		{Res: r, Kind: "s2", Dur: func(int) float64 { return 1 }},
+	}
+	res := Run(eng, stages, 5, true)
+	if math.Abs(res.Makespan-10) > 1e-12 {
+		t.Fatalf("same-resource pipeline %v, want 10 (no overlap possible)", res.Makespan)
+	}
+}

@@ -1,0 +1,46 @@
+package profile
+
+import (
+	"time"
+
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+// Live calibration: measure this host's actual GEMM throughput with a real
+// probe multiplication and reconcile the advisor's CPU model with it —
+// the paper's profiling stage (§4.2) where nvprof/wall-clock measurements,
+// not datasheets, decide placements.
+
+// MeasureHostGemmFlops times an n×n×n multiplication on the host and
+// returns the achieved FLOP/s (best of reps runs after one warm-up).
+func MeasureHostGemmFlops(n, reps int) float64 {
+	if n < 8 {
+		n = 8
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	p := rng.NewPool(0x9a11b)
+	a := p.NewUniform(n, n, -1, 1)
+	b := p.NewUniform(n, n, -1, 1)
+	dst := tensor.New(n, n)
+	tensor.Mul(dst, a, b) // warm-up
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		tensor.Mul(dst, a, b)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return tensor.GemmFLOPs(n, n, n) / best.Seconds()
+}
+
+// CalibrateFromProbe measures the host and adjusts the advisor so its
+// CPU-vs-GPU decisions reflect the machine it actually runs on.
+func (a *Advisor) CalibrateFromProbe(n, reps int) float64 {
+	measured := MeasureHostGemmFlops(n, reps)
+	a.Calibrate(measured)
+	return measured
+}

@@ -1,0 +1,266 @@
+package secureml
+
+import (
+	"fmt"
+
+	"parsecureml/internal/ml"
+	"parsecureml/internal/mpc"
+	"parsecureml/internal/simtime"
+	"parsecureml/internal/tensor"
+)
+
+// LossKind selects the secure training objective.
+type LossKind int
+
+// Loss kinds: MSELoss covers linear/logistic/MLP/CNN/RNN (SecureML trains
+// its classifiers against squared error on the squashed output); HingeLoss
+// is the SVM objective, computed with one secure Hadamard (margin = y⊙pred)
+// plus a joint margin reconstruction.
+const (
+	MSELoss LossKind = iota
+	HingeLoss
+)
+
+// Phases reports a run's time split the way the paper does (Table 3):
+// offline = client preparation, online = server processing.
+type Phases struct {
+	Offline float64
+	Online  float64
+	Total   float64
+}
+
+// Occupancy is online/total (Table 3's rightmost columns).
+func (p Phases) Occupancy() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return p.Online / p.Total
+}
+
+// Model is a secret-shared network bound to a deployment.
+type Model struct {
+	Name string
+	d    *mpc.Deployment
+
+	layers []secureLayer
+	loss   LossKind
+	cache  *siteCache
+
+	batch   int
+	batches int
+
+	// offline-prepared batch shares
+	xs, ys []shared
+
+	offlineSplitEnd float64 // makespan after the per-batch input splits
+	offlineEnd      float64
+	prepared        bool
+}
+
+// FromPlain builds the secure counterpart of a plaintext model: the
+// client splits the initial weights to the servers. Layer kinds map by
+// type; unknown layers panic.
+func FromPlain(d *mpc.Deployment, plain *ml.Model, loss LossKind) *Model {
+	m := &Model{Name: plain.Name, d: d, loss: loss, cache: newSiteCache(d)}
+	for i, l := range plain.Layers {
+		switch pl := l.(type) {
+		case *ml.Dense:
+			act, hasAct := mapAct(pl.Act)
+			m.layers = append(m.layers, newSecureDense(m, i, pl.InDim(), pl.OutDim(), act, hasAct, pl.W, pl.B))
+		case *ml.Conv2D:
+			act, hasAct := mapAct(pl.Act)
+			m.layers = append(m.layers, newSecureConv(m, i, pl.Shape, pl.Filters, act, hasAct, pl.K, pl.B))
+		case *ml.RNN:
+			act, _ := mapAct(pl.Act)
+			m.layers = append(m.layers, newSecureRNN(m, i, pl.InStep, pl.Hidden, pl.Steps, act, pl.Wx, pl.Wh, pl.B))
+		case *ml.AvgPool:
+			m.layers = append(m.layers, &securePool{idx: i, p: pl})
+		default:
+			panic(fmt.Sprintf("secureml: unsupported layer type %T", l))
+		}
+	}
+	return m
+}
+
+func mapAct(a ml.Activation) (mpc.ActivationKind, bool) {
+	switch a {
+	case ml.ReLU:
+		return mpc.ActReLU, true
+	case ml.Piecewise:
+		return mpc.ActPiecewise, true
+	case ml.Sigmoid:
+		return mpc.ActSigmoid, true
+	case ml.SigmoidTaylor:
+		return mpc.ActSigmoidTaylor, true
+	default:
+		return mpc.ActPiecewise, false // identity: no activation protocol
+	}
+}
+
+// splitClient secret-shares a client-held tensor and uploads the shares to
+// the servers (offline).
+func (m *Model) splitClient(secret *tensor.Matrix) shared {
+	s0, s1, t := m.d.Client.Split(secret)
+	t = m.d.Upload(secret.Bytes(), t)
+	return shared{s0: s0, s1: s1, t0: t, t1: t}
+}
+
+// Deployment returns the underlying deployment.
+func (m *Model) Deployment() *mpc.Deployment { return m.d }
+
+// AllowLazySites permits site creation during the online phase (tests and
+// single-shot inference convenience); offline/online attribution then
+// blurs, so benches never use it.
+func (m *Model) AllowLazySites() { m.cache.lazyOK = true }
+
+// Prepare runs the offline phase for a training run: the client splits
+// every batch of inputs and labels and generates every multiplication
+// site's triplet. The xs[i] rows are one batch of samples; shapes must
+// chain through the model.
+func (m *Model) Prepare(xs, ys []*tensor.Matrix) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("secureml: Prepare needs matching, non-empty batch lists")
+	}
+	m.batch = xs[0].Rows
+	m.batches = len(xs)
+	m.xs = m.xs[:0]
+	m.ys = m.ys[:0]
+	var last *simtime.Task
+	for b := range xs {
+		if xs[b].Rows != m.batch {
+			panic("secureml: Prepare requires a uniform batch size (triplet sites are batch-shared)")
+		}
+		m.xs = append(m.xs, m.splitClient(xs[b]))
+		m.ys = append(m.ys, m.splitClient(ys[b]))
+	}
+	m.offlineSplitEnd = m.d.Eng.Makespan()
+	// Triplet sites are shared across batches (released-implementation
+	// semantics): one site set per layer geometry.
+	for _, l := range m.layers {
+		last = l.prepare(m.cache, m.batch, last)
+	}
+	if m.loss == HingeLoss {
+		s := m.cache.prepare("hinge", "hadamard", m.batch, 1, 1, last)
+		last = s.ready
+	}
+	m.offlineEnd = m.d.Eng.Makespan()
+	m.prepared = true
+}
+
+// forwardBatch runs the secure forward pass for prepared batch b,
+// returning the prediction shares.
+func (m *Model) forwardBatch(b int) shared {
+	tag := fmt.Sprintf("b%d", b)
+	x := m.xs[b]
+	for _, l := range m.layers {
+		x = l.forward(m, tag, x)
+	}
+	return x
+}
+
+// lossGrad computes ∂L/∂pred as shares. MSE is share-local; hinge uses a
+// secure Hadamard for the margin plus a joint reconstruction of the margin
+// mask (documented leak, mirroring the activation protocol).
+func (m *Model) lossGrad(b int, pred shared) shared {
+	tag := fmt.Sprintf("b%d", b)
+	y := m.ys[b]
+	switch m.loss {
+	case HingeLoss:
+		margin := secureHadamard(m.d, m.cache, "hinge", fmt.Sprintf("hinge.%s", tag), y, pred)
+		// Jointly reveal the margin to form the public subgradient mask
+		// 1[y·pred < 1], then grad_i = −mask ⊙ y_i / batch (local).
+		pub, t0, t1 := mpc.Reveal(fmt.Sprintf("hingemask.%s", tag), m.d.S0, m.d.S1,
+			margin.s0, margin.s1, margin.t0, margin.t1)
+		mask := tensor.New(pred.rows(), pred.cols())
+		if tensor.ComputeEnabled() {
+			for i, v := range pub.Data {
+				if v < 1 {
+					mask.Data[i] = 1
+				}
+			}
+		}
+		maskedY := shared{s0: y.s0, s1: y.s1,
+			t0: m.d.S0.ElemTask("hinge.mask", 2*mask.Bytes(), t0),
+			t1: m.d.S1.ElemTask("hinge.mask", 2*mask.Bytes(), t1)}
+		g := hadamardPublic(m.d, maskedY, mask)
+		return scaleShares(m.d, g, -1/float32(pred.rows()))
+	default:
+		g := subShares(m.d, pred, y)
+		return scaleShares(m.d, g, 1/float32(pred.rows()))
+	}
+}
+
+// TrainEpochs runs secure SGD for the prepared batches.
+func (m *Model) TrainEpochs(epochs int, lr float32) {
+	if !m.prepared {
+		panic("secureml: TrainEpochs before Prepare")
+	}
+	for e := 0; e < epochs; e++ {
+		for b := 0; b < m.batches; b++ {
+			tag := fmt.Sprintf("b%d", b)
+			pred := m.forwardBatch(b)
+			grad := m.lossGrad(b, pred)
+			for i := len(m.layers) - 1; i >= 0; i-- {
+				grad = m.layers[i].backward(m, tag, grad)
+			}
+			for _, l := range m.layers {
+				l.update(m, lr)
+			}
+		}
+	}
+}
+
+// InferBatches runs forward passes only over the prepared batches (the
+// paper's secure-inference experiment, Fig. 13). Results are merged by
+// the client; the returned matrices are the plaintext predictions.
+func (m *Model) InferBatches() []*tensor.Matrix {
+	if !m.prepared {
+		panic("secureml: InferBatches before Prepare")
+	}
+	out := make([]*tensor.Matrix, m.batches)
+	for b := 0; b < m.batches; b++ {
+		pred := m.forwardBatch(b)
+		tDown := m.d.Download(pred.s0.Bytes(), pred.t0, pred.t1)
+		merged, _ := m.d.Client.Combine(pred.s0, pred.s1, tDown)
+		out[b] = merged
+	}
+	return out
+}
+
+// OfflineSplit returns the portion of the offline phase spent splitting
+// and uploading batch data (scales with batch count), as opposed to the
+// batch-shared triplet generation. Benchmark scaling uses it.
+func (m *Model) OfflineSplit() float64 { return m.offlineSplitEnd }
+
+// Phases reports the offline/online/total split of everything run so far.
+func (m *Model) Phases() Phases {
+	total := m.d.Eng.Makespan()
+	online := total - m.offlineEnd
+	if online < 0 {
+		online = 0
+	}
+	return Phases{Offline: m.offlineEnd, Online: online, Total: total}
+}
+
+// RevealInto reconstructs the trained weight shares back into the
+// plaintext model (the client's final download). Layer structure must
+// match FromPlain's source.
+func (m *Model) RevealInto(plain *ml.Model) {
+	for i, l := range m.layers {
+		switch sl := l.(type) {
+		case *secureDense:
+			pl := plain.Layers[i].(*ml.Dense)
+			pl.W.CopyFrom(sl.w.reveal())
+			pl.B.CopyFrom(sl.b.reveal())
+		case *secureConv:
+			pl := plain.Layers[i].(*ml.Conv2D)
+			pl.K.CopyFrom(sl.k.reveal())
+			pl.B.CopyFrom(sl.b.reveal())
+		case *secureRNN:
+			pl := plain.Layers[i].(*ml.RNN)
+			pl.Wx.CopyFrom(sl.wx.reveal())
+			pl.Wh.CopyFrom(sl.wh.reveal())
+			pl.B.CopyFrom(sl.b.reveal())
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package secureml
+
+import (
+	"parsecureml/internal/ml"
+	"parsecureml/internal/simtime"
+)
+
+// securePool wraps average pooling, which is linear and therefore applies
+// share-locally with no triplet, no exchange, and no reveal — the reason
+// MPC frameworks favor average over max pooling.
+type securePool struct {
+	idx int
+	p   *ml.AvgPool
+}
+
+func (l *securePool) inDim() int  { return l.p.InDim() }
+func (l *securePool) outDim() int { return l.p.OutDim() }
+
+func (l *securePool) prepare(cache *siteCache, batch int, dep *simtime.Task) *simtime.Task {
+	return dep // no offline material needed
+}
+
+func (l *securePool) forward(m *Model, batchTag string, x shared) shared {
+	bytes := 4 * x.rows() * (l.p.InDim() + l.p.OutDim())
+	return shared{
+		s0: l.p.Forward(x.s0),
+		s1: l.p.Forward(x.s1),
+		t0: m.d.S0.ElemTask("avgpool", bytes, x.t0),
+		t1: m.d.S1.ElemTask("avgpool", bytes, x.t1),
+	}
+}
+
+func (l *securePool) backward(m *Model, batchTag string, dout shared) shared {
+	bytes := 4 * dout.rows() * (l.p.InDim() + l.p.OutDim())
+	return shared{
+		s0: l.p.Backward(dout.s0),
+		s1: l.p.Backward(dout.s1),
+		t0: m.d.S0.ElemTask("avgpool.bwd", bytes, dout.t0),
+		t1: m.d.S1.ElemTask("avgpool.bwd", bytes, dout.t1),
+	}
+}
+
+func (l *securePool) update(m *Model, lr float32) {}

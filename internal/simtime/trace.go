@@ -1,0 +1,122 @@
+package simtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Chrome-tracing export: the engine's task log rendered as a
+// chrome://tracing / Perfetto JSON timeline — one lane per resource, one
+// complete event per task. This is the repository's answer to nvprof's
+// timeline view (§5.2): load the file in a trace viewer to see the double
+// pipeline's overlap structure.
+
+// traceEvent is the Trace Event Format "complete" event.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// traceMeta names a thread lane.
+type traceMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteChromeTrace serializes the task log in Trace Event Format. Lanes
+// (tids) are resources, sorted by name; zero-duration sync tasks are
+// skipped.
+func (e *Engine) WriteChromeTrace(w io.Writer) error {
+	names := make([]string, 0, len(e.resources))
+	for name := range e.resources {
+		if name == "~sync" {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tid := make(map[string]int, len(names))
+	events := make([]any, 0, len(e.tasks)+len(names))
+	for i, name := range names {
+		tid[name] = i
+		events = append(events, traceMeta{
+			Name: "thread_name", Ph: "M", PID: 1, TID: i,
+			Args: map[string]string{"name": name},
+		})
+	}
+	for _, t := range e.tasks {
+		if t.Kind == "sync" || t.Duration() == 0 {
+			continue
+		}
+		id, ok := tid[t.Resource.Name]
+		if !ok {
+			continue
+		}
+		events = append(events, traceEvent{
+			Name: t.Name,
+			Cat:  t.Kind,
+			Ph:   "X",
+			TS:   t.Start * 1e6,
+			Dur:  t.Duration() * 1e6,
+			PID:  1,
+			TID:  id,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// GanttString renders a coarse text Gantt chart of the busiest resources —
+// a quick look at overlap without a trace viewer. width is the number of
+// character cells across the makespan.
+func (e *Engine) GanttString(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	span := e.Makespan()
+	if span == 0 {
+		return "(empty timeline)\n"
+	}
+	names := make([]string, 0, len(e.resources))
+	for name, r := range e.resources {
+		if name == "~sync" || r.Busy() == 0 {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.6fs\n", span)
+	for _, name := range names {
+		cells := make([]byte, width)
+		for i := range cells {
+			cells[i] = '.'
+		}
+		for _, t := range e.tasks {
+			if t.Resource.Name != name || t.Duration() == 0 {
+				continue
+			}
+			lo := int(t.Start / span * float64(width))
+			hi := int(t.End / span * float64(width))
+			if hi == lo {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < width; i++ {
+				cells[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-24s %s %5.1f%%\n", name, cells, 100*e.resources[name].Busy()/span)
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package simtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func buildSampleTimeline() *Engine {
+	e := NewEngine()
+	pcie, gpu := e.Resource("pcie"), e.Resource("gpu")
+	c := e.Schedule(pcie, "h2d", "copy E", 2)
+	k := e.Schedule(gpu, "gemm", "D x F", 5, c)
+	e.Schedule(pcie, "h2d", "copy B", 1, c)
+	e.After(k)
+	return e
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	e := buildSampleTimeline()
+	var buf bytes.Buffer
+	if err := e.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var lanes, complete int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			lanes++
+		case "X":
+			complete++
+			if ev["dur"].(float64) <= 0 {
+				t.Fatalf("non-positive duration event %v", ev)
+			}
+		}
+	}
+	if lanes != 2 {
+		t.Fatalf("lanes = %d, want 2 (pcie, gpu)", lanes)
+	}
+	if complete != 3 {
+		t.Fatalf("complete events = %d, want 3 (sync excluded)", complete)
+	}
+}
+
+func TestChromeTraceTimesInMicroseconds(t *testing.T) {
+	e := buildSampleTimeline()
+	var buf bytes.Buffer
+	if err := e.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" || ev["name"] != "D x F" {
+			continue
+		}
+		if ts := ev["ts"].(float64); ts != 2e6 {
+			t.Fatalf("kernel ts %v µs, want 2e6", ts)
+		}
+		if dur := ev["dur"].(float64); dur != 5e6 {
+			t.Fatalf("kernel dur %v µs, want 5e6", dur)
+		}
+	}
+}
+
+func TestGanttString(t *testing.T) {
+	e := buildSampleTimeline()
+	g := e.GanttString(40)
+	if !strings.Contains(g, "gpu") || !strings.Contains(g, "pcie") {
+		t.Fatalf("gantt missing lanes:\n%s", g)
+	}
+	if !strings.Contains(g, "#") {
+		t.Fatal("gantt has no busy cells")
+	}
+	if !strings.Contains(g, "makespan") {
+		t.Fatal("gantt missing makespan header")
+	}
+	if empty := NewEngine().GanttString(40); !strings.Contains(empty, "empty") {
+		t.Fatalf("empty engine gantt: %q", empty)
+	}
+}

@@ -1,0 +1,163 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary wire codec for dense and CSR matrices. The compressed-transmission
+// experiments (Fig. 16) measure real encoded byte counts, so the codec is a
+// compact little-endian format rather than gob:
+//
+//	dense: 'D' u32(rows) u32(cols) rows*cols × f32
+//	csr:   'S' u32(rows) u32(cols) u32(nnz) (rows+1) × u32 rowptr,
+//	       nnz × u32 colidx, nnz × f32 values
+
+var (
+	// ErrCodecShort indicates a truncated buffer.
+	ErrCodecShort = errors.New("tensor: codec: buffer too short")
+	// ErrCodecTag indicates an unknown leading type tag.
+	ErrCodecTag = errors.New("tensor: codec: unknown type tag")
+)
+
+const (
+	tagDense = 'D'
+	tagCSR   = 'S'
+)
+
+// EncodedSizeDense returns the wire size of a dense rows×cols matrix.
+func EncodedSizeDense(rows, cols int) int { return 1 + 8 + 4*rows*cols }
+
+// EncodeMatrix appends the wire form of m to buf and returns the result.
+func EncodeMatrix(buf []byte, m *Matrix) []byte {
+	if m.shapeOnly() {
+		panic("tensor: EncodeMatrix on a shape-only (dry-run) matrix")
+	}
+	buf = append(buf, tagDense)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Cols))
+	for _, v := range m.Data {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+// EncodeCSR appends the wire form of c to buf and returns the result.
+func EncodeCSR(buf []byte, c *CSR) []byte {
+	buf = append(buf, tagCSR)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Cols))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Values)))
+	for _, v := range c.RowPtr {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	for _, v := range c.ColIdx {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	for _, v := range c.Values {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+// Decode reads one encoded matrix from buf. Exactly one of the dense/CSR
+// results is non-nil. It returns the number of bytes consumed.
+func Decode(buf []byte) (dense *Matrix, sparse *CSR, n int, err error) {
+	if len(buf) < 1 {
+		return nil, nil, 0, ErrCodecShort
+	}
+	switch buf[0] {
+	case tagDense:
+		m, n, err := DecodeMatrix(buf)
+		return m, nil, n, err
+	case tagCSR:
+		c, n, err := DecodeCSR(buf)
+		return nil, c, n, err
+	default:
+		return nil, nil, 0, fmt.Errorf("%w: 0x%02x", ErrCodecTag, buf[0])
+	}
+}
+
+// DecodeMatrix decodes a dense matrix, returning it and the bytes consumed.
+// Dimension fields are validated against the buffer length before any
+// allocation, so hostile frames fail cleanly.
+func DecodeMatrix(buf []byte) (*Matrix, int, error) {
+	if len(buf) < 9 || buf[0] != tagDense {
+		return nil, 0, ErrCodecShort
+	}
+	rows := int(binary.LittleEndian.Uint32(buf[1:]))
+	cols := int(binary.LittleEndian.Uint32(buf[5:]))
+	// Overflow-safe payload check: rows*cols elements of 4 bytes must fit.
+	if cols != 0 && rows > (len(buf)-9)/4/cols {
+		return nil, 0, ErrCodecShort
+	}
+	need := EncodedSizeDense(rows, cols)
+	if len(buf) < need {
+		return nil, 0, ErrCodecShort
+	}
+	m := New(rows, cols)
+	off := 9
+	for i := range m.Data {
+		m.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	return m, need, nil
+}
+
+// DecodeCSR decodes a CSR matrix, returning it and the bytes consumed.
+// Beyond length checks, the structural invariants are validated — row
+// pointers monotone within [0, nnz], column indices within [0, cols) — so
+// a hostile frame cannot produce a CSR that panics ToDense or AddInto.
+func DecodeCSR(buf []byte) (*CSR, int, error) {
+	if len(buf) < 13 || buf[0] != tagCSR {
+		return nil, 0, ErrCodecShort
+	}
+	rows := int(binary.LittleEndian.Uint32(buf[1:]))
+	cols := int(binary.LittleEndian.Uint32(buf[5:]))
+	nnz := int(binary.LittleEndian.Uint32(buf[9:]))
+	// Overflow-safe: (rows+1) row pointers and nnz (index, value) pairs.
+	rest := len(buf) - 13
+	if rows > rest/4-1 || nnz > rest/8 {
+		return nil, 0, ErrCodecShort
+	}
+	need := 13 + 4*(rows+1) + 8*nnz
+	if len(buf) < need {
+		return nil, 0, ErrCodecShort
+	}
+	c := &CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int32, rows+1),
+		ColIdx: make([]int32, nnz),
+		Values: make([]float32, nnz),
+	}
+	off := 13
+	prev := int32(0)
+	for i := range c.RowPtr {
+		v := int32(binary.LittleEndian.Uint32(buf[off:]))
+		if v < prev || v > int32(nnz) {
+			return nil, 0, fmt.Errorf("tensor: codec: CSR row pointers not monotone in [0,%d]", nnz)
+		}
+		c.RowPtr[i] = v
+		prev = v
+		off += 4
+	}
+	if c.RowPtr[0] != 0 || c.RowPtr[rows] != int32(nnz) {
+		return nil, 0, fmt.Errorf("tensor: codec: CSR row pointer bounds")
+	}
+	for i := range c.ColIdx {
+		v := int32(binary.LittleEndian.Uint32(buf[off:]))
+		if v < 0 || int(v) >= cols {
+			return nil, 0, fmt.Errorf("tensor: codec: CSR column index %d out of %d", v, cols)
+		}
+		c.ColIdx[i] = v
+		off += 4
+	}
+	for i := range c.Values {
+		c.Values[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	return c, need, nil
+}

@@ -1,0 +1,31 @@
+package tensor
+
+import "sync/atomic"
+
+// Compute switch: when disabled, matrices are allocated shape-only (nil
+// Data) and every kernel becomes a no-op after its shape checks. The
+// benchmark harness uses this to *schedule* the paper's full-size
+// workloads (tens of GB of matrix traffic) through the unchanged protocol
+// code and read modeled times off the simtime engine, without performing
+// or allocating the arithmetic. Correctness of the schedule is guaranteed
+// by tests asserting that compute-on and compute-off runs of the same
+// workload produce identical task timelines.
+//
+// The switch is process-global (atomic); toggle it only around
+// single-workload sections, and restore the previous value.
+
+var computeOn atomic.Bool
+
+func init() { computeOn.Store(true) }
+
+// SetCompute enables or disables real arithmetic and returns the previous
+// setting.
+func SetCompute(on bool) bool {
+	return computeOn.Swap(on)
+}
+
+// ComputeEnabled reports whether kernels perform real arithmetic.
+func ComputeEnabled() bool { return computeOn.Load() }
+
+// shapeOnly reports whether m carries no values (dry-run allocation).
+func (m *Matrix) shapeOnly() bool { return m.Data == nil && m.Rows*m.Cols > 0 }

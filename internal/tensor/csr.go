@@ -1,0 +1,99 @@
+package tensor
+
+import "fmt"
+
+// CSR is a compressed-sparse-row matrix, the format the paper's compressed
+// inter-node transmission uses when a delta matrix is at least 75 % zero
+// (§4.4, referencing Bell & Garland's CUDA SpMV report).
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32 // length Rows+1
+	ColIdx     []int32 // length NNZ
+	Values     []float32
+}
+
+// DefaultSparsityThreshold is the paper's default: compress when ≥75 % of
+// the elements are zero.
+const DefaultSparsityThreshold = 0.75
+
+// FromDense converts m to CSR form.
+func FromDense(m *Matrix) *CSR {
+	c := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int32, m.Rows+1),
+	}
+	nnz := m.NNZ()
+	c.ColIdx = make([]int32, 0, nnz)
+	c.Values = make([]float32, 0, nnz)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j, v := range row {
+			if v != 0 {
+				c.ColIdx = append(c.ColIdx, int32(j))
+				c.Values = append(c.Values, v)
+			}
+		}
+		c.RowPtr[r+1] = int32(len(c.Values))
+	}
+	return c
+}
+
+// ToDense expands the CSR matrix back to dense form.
+func (c *CSR) ToDense() *Matrix {
+	m := New(c.Rows, c.Cols)
+	for r := 0; r < c.Rows; r++ {
+		row := m.Row(r)
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			row[c.ColIdx[p]] = c.Values[p]
+		}
+	}
+	return m
+}
+
+// AddInto accumulates the sparse matrix into dst (dst += c), the operation
+// a receiver applies to reconstruct E_{i,j+1} = E_{i,j} + Δ (Eq. 11).
+func (c *CSR) AddInto(dst *Matrix) {
+	if dst.Rows != c.Rows || dst.Cols != c.Cols {
+		panic(fmt.Sprintf("tensor: CSR.AddInto shape mismatch %dx%d vs %dx%d", c.Rows, c.Cols, dst.Rows, dst.Cols))
+	}
+	for r := 0; r < c.Rows; r++ {
+		row := dst.Row(r)
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			row[c.ColIdx[p]] += c.Values[p]
+		}
+	}
+}
+
+// NNZ returns the stored non-zero count.
+func (c *CSR) NNZ() int { return len(c.Values) }
+
+// Bytes returns the encoded payload size in bytes: row pointers, column
+// indices and values at 4 bytes each. This is what the network model is
+// charged when a delta is sent compressed.
+func (c *CSR) Bytes() int {
+	return 4 * (len(c.RowPtr) + len(c.ColIdx) + len(c.Values))
+}
+
+// CompressionWorthwhile reports whether encoding m as CSR is smaller than
+// sending it dense — the run-time check behind the ≥75 % rule. (At exactly
+// 50 % zeros CSR breaks even on index overhead; the paper's 75 % threshold
+// leaves margin.)
+func CompressionWorthwhile(m *Matrix, sparsityThreshold float64) bool {
+	return m.Sparsity() >= sparsityThreshold
+}
+
+// SpMV computes dst = c × x for a dense vector x (length Cols); dst must
+// have length Rows. Included for completeness of the CSR substrate.
+func (c *CSR) SpMV(dst, x []float32) {
+	if len(x) != c.Cols || len(dst) != c.Rows {
+		panic(fmt.Sprintf("tensor: SpMV dimensions: matrix %dx%d, x %d, dst %d", c.Rows, c.Cols, len(x), len(dst)))
+	}
+	for r := 0; r < c.Rows; r++ {
+		var acc float32
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			acc += c.Values[p] * x[c.ColIdx[p]]
+		}
+		dst[r] = acc
+	}
+}

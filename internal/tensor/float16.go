@@ -1,0 +1,95 @@
+package tensor
+
+import "math"
+
+// IEEE 754 binary16 conversion, used to emulate Tensor-Core GEMM: Tensor
+// Cores multiply FP16 inputs and accumulate in FP32 (paper §5.2, Fig. 9),
+// so the simulated tensor-core kernel rounds its inputs through binary16
+// before multiplying. Round-to-nearest-even, with proper handling of
+// subnormals, infinities and NaN.
+
+// Float32ToFloat16Bits converts f to its nearest binary16 representation.
+func Float32ToFloat16Bits(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xff
+	man := b & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if man != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00 // Inf
+	case exp > 142: // overflow (unbiased > 15) -> Inf
+		return sign | 0x7c00
+	case exp >= 113: // normal range (unbiased -14..15)
+		h := sign | uint16((exp-112)<<10) | uint16(man>>13)
+		// round to nearest even on the 13 dropped bits
+		round := man & 0x1fff
+		if round > 0x1000 || (round == 0x1000 && h&1 == 1) {
+			h++ // carries propagate correctly into the exponent
+		}
+		return h
+	case exp >= 103: // subnormal half: mantissa = round(M · 2^(exp-126))
+		man |= 0x800000 // implicit leading 1
+		shift := uint32(126 - exp)
+		h := sign | uint16(man>>shift)
+		dropped := man & ((1 << shift) - 1)
+		half := uint32(1) << (shift - 1)
+		if dropped > half || (dropped == half && h&1 == 1) {
+			h++ // may carry into the normal range, which is layout-contiguous
+		}
+		return h
+	default: // underflow to zero
+		return sign
+	}
+}
+
+// Float16BitsToFloat32 expands a binary16 bit pattern to float32.
+func Float16BitsToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	man := uint32(h & 0x3ff)
+	switch {
+	case exp == 0x1f: // Inf/NaN
+		if man != 0 {
+			return math.Float32frombits(sign | 0x7fc00000)
+		}
+		return math.Float32frombits(sign | 0x7f800000)
+	case exp == 0:
+		if man == 0 {
+			return math.Float32frombits(sign)
+		}
+		// subnormal: normalize
+		for man&0x400 == 0 {
+			man <<= 1
+			exp--
+		}
+		man &= 0x3ff
+		return math.Float32frombits(sign | (exp+113)<<23 | man<<13)
+	default:
+		return math.Float32frombits(sign | (exp+112)<<23 | man<<13)
+	}
+}
+
+// RoundFloat16 rounds f through binary16 precision and back.
+func RoundFloat16(f float32) float32 {
+	return Float16BitsToFloat32(Float32ToFloat16Bits(f))
+}
+
+// RoundMatrixFloat16 writes the binary16-rounded copy of a into dst
+// (dst may alias a). This models loading an FP32 matrix into Tensor-Core
+// input registers.
+func RoundMatrixFloat16(dst, a *Matrix) {
+	dst.mustSameShape(a, "RoundMatrixFloat16")
+	if !ComputeEnabled() {
+		return
+	}
+	parallelFor(len(a.Data), CacheLineFloats, func(lo, hi int) {
+		da, dd := a.Data[lo:hi], dst.Data[lo:hi]
+		for i := range dd {
+			dd[i] = RoundFloat16(da[i])
+		}
+	})
+}

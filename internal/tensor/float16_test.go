@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat16KnownValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},                 // max finite half
+		{float32(math.Inf(1)), 0x7c00},  // +Inf
+		{float32(math.Inf(-1)), 0xfc00}, // -Inf
+		{65536, 0x7c00},                 // overflow -> Inf
+		{5.9604645e-8, 0x0001},          // smallest subnormal
+		{6.0975552e-5, 0x03ff},          // largest subnormal
+		{6.1035156e-5, 0x0400},          // smallest normal (2^-14)
+		{0.333251953125, 0x3555},        // 1/3 rounded to half
+		{float32(math.SmallestNonzeroFloat32), 0x0000}, // underflow to zero
+	}
+	for _, c := range cases {
+		if got := Float32ToFloat16Bits(c.f); got != c.bits {
+			t.Errorf("Float32ToFloat16Bits(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+	}
+}
+
+func TestFloat16BitsToFloat32KnownValues(t *testing.T) {
+	if got := Float16BitsToFloat32(0x3c00); got != 1 {
+		t.Fatalf("0x3c00 -> %v", got)
+	}
+	if got := Float16BitsToFloat32(0x7bff); got != 65504 {
+		t.Fatalf("0x7bff -> %v", got)
+	}
+	if got := Float16BitsToFloat32(0x0001); got != 5.9604645e-8 {
+		t.Fatalf("0x0001 -> %v", got)
+	}
+	if !math.IsInf(float64(Float16BitsToFloat32(0x7c00)), 1) {
+		t.Fatal("0x7c00 must decode to +Inf")
+	}
+	if !math.IsNaN(float64(Float16BitsToFloat32(0x7e00))) {
+		t.Fatal("0x7e00 must decode to NaN")
+	}
+	if got := Float16BitsToFloat32(0x8000); got != 0 || math.Signbit(float64(got)) == false {
+		t.Fatalf("0x8000 must decode to -0, got %v", got)
+	}
+}
+
+// Property: round-tripping any representable half through float32 is exact.
+func TestFloat16ExactRoundTrip(t *testing.T) {
+	for bits := 0; bits <= 0xffff; bits++ {
+		h := uint16(bits)
+		f := Float16BitsToFloat32(h)
+		if math.IsNaN(float64(f)) {
+			continue // NaN payloads are canonicalized
+		}
+		if got := Float32ToFloat16Bits(f); got != h {
+			// -0 and +0 both encode fine; anything else is a bug.
+			t.Fatalf("half %#04x -> %v -> %#04x", h, f, got)
+		}
+	}
+}
+
+// Property: rounding error is within half a ULP (relative 2^-11) in the
+// normal range.
+func TestFloat16RelativeError(t *testing.T) {
+	f := func(x float32) bool {
+		if x != x || math.IsInf(float64(x), 0) {
+			return true
+		}
+		ax := math.Abs(float64(x))
+		if ax < 6.2e-5 || ax > 65000 {
+			return true // outside the half normal range
+		}
+		r := RoundFloat16(x)
+		rel := math.Abs(float64(r)-float64(x)) / ax
+		return rel <= 1.0/2048
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundFloat16Idempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	for i := 0; i < 1000; i++ {
+		x := float32(r.NormFloat64() * 100)
+		once := RoundFloat16(x)
+		if RoundFloat16(once) != once {
+			t.Fatalf("rounding not idempotent for %v", x)
+		}
+	}
+}
+
+func TestRoundMatrixFloat16(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	m := randomMatrix(r, 20, 20)
+	dst := New(20, 20)
+	RoundMatrixFloat16(dst, m)
+	for i, v := range m.Data {
+		if dst.Data[i] != RoundFloat16(v) {
+			t.Fatalf("element %d: %v vs %v", i, dst.Data[i], RoundFloat16(v))
+		}
+	}
+	// In-place aliasing works too.
+	cp := m.Clone()
+	RoundMatrixFloat16(cp, cp)
+	if !cp.Equal(dst) {
+		t.Fatal("aliased rounding differs")
+	}
+}
+
+func TestFloat16RoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1.0 (0x3c00) and 1+2^-10
+	// (0x3c01); ties round to even -> 0x3c00.
+	x := float32(1) + float32(math.Pow(2, -11))
+	if got := Float32ToFloat16Bits(x); got != 0x3c00 {
+		t.Fatalf("tie not rounded to even: %#04x", got)
+	}
+	// 1 + 3*2^-11 is halfway between 0x3c01 and 0x3c02 -> rounds to 0x3c02.
+	x = float32(1) + 3*float32(math.Pow(2, -11))
+	if got := Float32ToFloat16Bits(x); got != 0x3c02 {
+		t.Fatalf("tie not rounded to even: %#04x", got)
+	}
+}

@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Robustness: the wire codec must reject arbitrary and corrupted byte
+// streams with an error — never panic, never over-read — since frames
+// arrive from the (untrusted) network path.
+
+func FuzzDecode(f *testing.F) {
+	m := New(3, 4)
+	m.Set(1, 2, 1.5)
+	f.Add(EncodeMatrix(nil, m))
+	f.Add(EncodeCSR(nil, FromDense(m)))
+	f.Add([]byte{})
+	f.Add([]byte{'D', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{'S', 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dense, sparse, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if dense == nil && sparse == nil {
+			t.Fatal("success with no payload")
+		}
+	})
+}
+
+// Property: random single-byte corruption of a valid frame either fails to
+// decode or decodes without panicking (bit flips in the float payload are
+// legitimately undetectable in this header-checked format).
+func TestCodecCorruptionNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	m := randomMatrix(r, 9, 7)
+	base := EncodeMatrix(nil, m)
+	csr := EncodeCSR(nil, FromDense(randomSparseMatrix(r, 9, 7, 0.2)))
+	for trial := 0; trial < 2000; trial++ {
+		var frame []byte
+		if trial%2 == 0 {
+			frame = append([]byte(nil), base...)
+		} else {
+			frame = append([]byte(nil), csr...)
+		}
+		idx := r.Intn(len(frame))
+		frame[idx] ^= byte(1 + r.Intn(255))
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on corrupted frame (byte %d): %v", idx, p)
+				}
+			}()
+			Decode(frame)
+		}()
+	}
+}
+
+// Truncation at every prefix length must error cleanly.
+func TestCodecTruncationSweep(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	m := randomMatrix(r, 4, 5)
+	frame := EncodeMatrix(nil, m)
+	for n := 0; n < len(frame); n++ {
+		if _, _, _, err := Decode(frame[:n]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", n)
+		}
+	}
+	c := EncodeCSR(nil, FromDense(randomSparseMatrix(r, 6, 6, 0.3)))
+	for n := 0; n < len(c); n++ {
+		if _, _, _, err := Decode(c[:n]); err == nil {
+			t.Fatalf("CSR prefix of %d bytes decoded without error", n)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package tensor
+
+import "fmt"
+
+// GEMM kernels. Mul is the workhorse behind every triplet multiplication:
+// a cache-blocked i-k-j loop parallelized over row bands. MulNaive is the
+// obviously-correct reference oracle used by the tests.
+
+func mustMulShapes(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: Mul inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: Mul destination %dx%d for %dx%d result", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+}
+
+// Mul computes dst = a × b using the parallel blocked kernel. dst must not
+// alias a or b.
+func Mul(dst, a, b *Matrix) {
+	Gemm(dst, a, b, 1, 0)
+}
+
+// MulTo returns a newly allocated a × b.
+func MulTo(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Cols)
+	Mul(dst, a, b)
+	return dst
+}
+
+// Gemm computes dst = alpha·(a × b) + beta·dst. dst must not alias a or b.
+// The i-k-j loop order streams rows of b while a row of dst stays hot in
+// cache; parallelism is across bands of dst rows, so no two goroutines
+// write the same row.
+func Gemm(dst, a, b *Matrix, alpha, beta float32) {
+	mustMulShapes(dst, a, b)
+	if !ComputeEnabled() {
+		return
+	}
+	k, cols := a.Cols, b.Cols
+	parallelFor(a.Rows, 1, func(lo, hi int) {
+		// Accumulate each destination row in float64: secret-shared
+		// operands carry masks that inflate magnitudes, and FP32
+		// accumulation error over long inner dimensions would rival the
+		// gradient signal during secure training.
+		acc := make([]float64, cols)
+		for i := lo; i < hi; i++ {
+			drow := dst.Row(i)
+			for j := range acc {
+				acc[j] = 0
+			}
+			arow := a.Row(i)
+			for p := 0; p < k; p++ {
+				av := float64(alpha * arow[p])
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*cols : (p+1)*cols]
+				for j, bv := range brow {
+					acc[j] += av * float64(bv)
+				}
+			}
+			switch beta {
+			case 0:
+				for j := range drow {
+					drow[j] = float32(acc[j])
+				}
+			case 1:
+				for j := range drow {
+					drow[j] += float32(acc[j])
+				}
+			default:
+				for j := range drow {
+					drow[j] = beta*drow[j] + float32(acc[j])
+				}
+			}
+		}
+	})
+}
+
+// MulNaive is the textbook triple loop, single-threaded, accumulating in
+// float64. It is the correctness oracle for Mul and the GPU kernels.
+func MulNaive(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Cols)
+	mustMulShapes(dst, a, b)
+	if !ComputeEnabled() {
+		return dst
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var acc float64
+			for p := 0; p < a.Cols; p++ {
+				acc += float64(a.At(i, p)) * float64(b.At(p, j))
+			}
+			dst.Set(i, j, float32(acc))
+		}
+	}
+	return dst
+}
+
+// MulABT computes dst = a × bᵀ without materializing the transpose; rows of
+// a and rows of b are combined by inner products (cache-friendly for the
+// backward pass dX = dY × Wᵀ).
+func MulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MulABT inner dimension mismatch %dx%d * (%dx%d)T", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MulABT destination %dx%d for %dx%d result", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	if !ComputeEnabled() {
+		return
+	}
+	parallelFor(a.Rows, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var acc float64
+				for p, av := range arow {
+					acc += float64(av) * float64(brow[p])
+				}
+				drow[j] = float32(acc)
+			}
+		}
+	})
+}
+
+// MulATB computes dst = aᵀ × b without materializing the transpose
+// (the backward-pass weight gradient dW = Xᵀ × dY). Parallelism is across
+// bands of dst rows (columns of a), so writes never race.
+func MulATB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MulATB inner dimension mismatch (%dx%d)T * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MulATB destination %dx%d for %dx%d result", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	if !ComputeEnabled() {
+		return
+	}
+	parallelFor(a.Cols, 1, func(lo, hi int) {
+		acc := make([]float64, b.Cols)
+		for i := lo; i < hi; i++ {
+			for j := range acc {
+				acc[j] = 0
+			}
+			for p := 0; p < a.Rows; p++ {
+				av := float64(a.At(p, i))
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(p)
+				for j, bv := range brow {
+					acc[j] += av * float64(bv)
+				}
+			}
+			drow := dst.Row(i)
+			for j := range drow {
+				drow[j] = float32(acc[j])
+			}
+		}
+	})
+}
+
+// GemmFLOPs returns the floating-point operation count of an m×k × k×n
+// multiplication (2·m·k·n), the quantity the hardware cost models charge.
+func GemmFLOPs(m, k, n int) float64 {
+	return 2 * float64(m) * float64(k) * float64(n)
+}

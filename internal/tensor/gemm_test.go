@@ -1,0 +1,176 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	cases := [][3]int{
+		{1, 1, 1}, {2, 3, 4}, {5, 1, 5}, {16, 16, 16},
+		{17, 33, 9}, {64, 128, 32}, {100, 7, 100}, {1, 200, 1},
+	}
+	for _, c := range cases {
+		a := randomMatrix(r, c[0], c[1])
+		b := randomMatrix(r, c[1], c[2])
+		want := MulNaive(a, b)
+		got := MulTo(a, b)
+		if !got.ApproxEqual(want, 1e-3*float64(c[1])) {
+			t.Fatalf("Mul %v: max diff %v", c, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a := randomMatrix(r, 9, 9)
+	id := New(9, 9)
+	for i := 0; i < 9; i++ {
+		id.Set(i, i, 1)
+	}
+	if !MulTo(a, id).ApproxEqual(a, 0) {
+		t.Fatal("A*I != A")
+	}
+	if !MulTo(id, a).ApproxEqual(a, 0) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestGemmAlphaBeta(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	a := randomMatrix(r, 8, 6)
+	b := randomMatrix(r, 6, 10)
+	c0 := randomMatrix(r, 8, 10)
+
+	// dst = 2*A*B + 3*dst
+	dst := c0.Clone()
+	Gemm(dst, a, b, 2, 3)
+	ab := MulNaive(a, b)
+	want := New(8, 10)
+	for i := range want.Data {
+		want.Data[i] = 2*ab.Data[i] + 3*c0.Data[i]
+	}
+	if !dst.ApproxEqual(want, 1e-3) {
+		t.Fatalf("Gemm(2,3) max diff %v", dst.MaxAbsDiff(want))
+	}
+
+	// beta=1 accumulates
+	dst = c0.Clone()
+	Gemm(dst, a, b, 1, 1)
+	for i := range want.Data {
+		want.Data[i] = ab.Data[i] + c0.Data[i]
+	}
+	if !dst.ApproxEqual(want, 1e-3) {
+		t.Fatalf("Gemm(1,1) max diff %v", dst.MaxAbsDiff(want))
+	}
+}
+
+// Property: matrix multiplication distributes over addition,
+// (A0+A1)×B == A0×B + A1×B — the identity underlying additive secret
+// sharing of triplet multiplications.
+func TestMulDistributesOverAddition(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	f := func(m8, k8, n8 uint8) bool {
+		m, k, n := int(m8%12)+1, int(k8%12)+1, int(n8%12)+1
+		a0 := randomMatrix(r, m, k)
+		a1 := randomMatrix(r, m, k)
+		b := randomMatrix(r, k, n)
+		left := MulTo(AddTo(a0, a1), b)
+		right := AddTo(MulTo(a0, b), MulTo(a1, b))
+		return left.ApproxEqual(right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulABT(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	a := randomMatrix(r, 7, 11)
+	b := randomMatrix(r, 5, 11)
+	got := New(7, 5)
+	MulABT(got, a, b)
+	want := MulNaive(a, b.Transpose())
+	if !got.ApproxEqual(want, 1e-3) {
+		t.Fatalf("MulABT max diff %v", got.MaxAbsDiff(want))
+	}
+}
+
+func TestMulATB(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	a := randomMatrix(r, 11, 7)
+	b := randomMatrix(r, 11, 5)
+	got := New(7, 5)
+	MulATB(got, a, b)
+	want := MulNaive(a.Transpose(), b)
+	if !got.ApproxEqual(want, 1e-3) {
+		t.Fatalf("MulATB max diff %v", got.MaxAbsDiff(want))
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { MulTo(New(2, 3), New(4, 5)) },
+		func() { Mul(New(3, 3), New(2, 3), New(3, 2)) },
+		func() { MulABT(New(2, 2), New(2, 3), New(2, 4)) },
+		func() { MulATB(New(2, 2), New(3, 2), New(4, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected shape panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGemmFLOPs(t *testing.T) {
+	if got := GemmFLOPs(10, 20, 30); got != 12000 {
+		t.Fatalf("GemmFLOPs = %v", got)
+	}
+}
+
+func TestMulSingleWorkerEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	a := randomMatrix(r, 33, 47)
+	b := randomMatrix(r, 47, 29)
+	par := MulTo(a, b)
+	prev := SetMaxWorkers(1)
+	ser := MulTo(a, b)
+	SetMaxWorkers(prev)
+	if !par.Equal(ser) {
+		t.Fatal("parallel and serial GEMM disagree bit-for-bit")
+	}
+}
+
+func benchmarkMul(b *testing.B, n int) {
+	r := rand.New(rand.NewSource(1))
+	x := randomMatrix(r, n, n)
+	y := randomMatrix(r, n, n)
+	dst := New(n, n)
+	b.SetBytes(int64(8 * n * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(dst, x, y)
+	}
+	b.ReportMetric(GemmFLOPs(n, n, n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkMul128(b *testing.B)  { benchmarkMul(b, 128) }
+func BenchmarkMul512(b *testing.B)  { benchmarkMul(b, 512) }
+func BenchmarkMul1024(b *testing.B) { benchmarkMul(b, 1024) }
+
+func BenchmarkAdd1M(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randomMatrix(r, 1024, 1024)
+	y := randomMatrix(r, 1024, 1024)
+	dst := New(1024, 1024)
+	b.SetBytes(int64(12 * 1024 * 1024))
+	for i := 0; i < b.N; i++ {
+		Add(dst, x, y)
+	}
+}

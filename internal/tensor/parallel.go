@@ -1,0 +1,74 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// CacheLineFloats is the number of FP32 values per 64-byte cache line. The
+// paper (§5.1) schedules at least one cache line of cyclic work per thread
+// to avoid false sharing when several threads write the result matrix; our
+// contiguous-chunk partitioning achieves the same effect as long as chunk
+// boundaries are cache-line aligned.
+const CacheLineFloats = 16
+
+// maxWorkers bounds the parallelism used by the element-wise and GEMM
+// kernels. It defaults to GOMAXPROCS and can be lowered for experiments
+// (e.g., the Fig. 14 serial-CPU baseline).
+var (
+	workersMu  sync.RWMutex
+	maxWorkers = runtime.GOMAXPROCS(0)
+)
+
+// SetMaxWorkers sets the worker-pool width for all parallel tensor kernels
+// and returns the previous value. n < 1 is treated as 1.
+func SetMaxWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	workersMu.Lock()
+	prev := maxWorkers
+	maxWorkers = n
+	workersMu.Unlock()
+	return prev
+}
+
+// MaxWorkers returns the current worker-pool width.
+func MaxWorkers() int {
+	workersMu.RLock()
+	defer workersMu.RUnlock()
+	return maxWorkers
+}
+
+// parallelFor splits [0, n) into contiguous chunks, each a multiple of
+// align (except possibly the last), and runs fn(lo, hi) on each chunk from
+// its own goroutine. With fewer than 2*align items or a single worker it
+// runs inline.
+func parallelFor(n, align int, fn func(lo, hi int)) {
+	if align < 1 {
+		align = 1
+	}
+	workers := MaxWorkers()
+	if workers == 1 || n < 2*align {
+		fn(0, n)
+		return
+	}
+	chunks := (n + align - 1) / align
+	if workers > chunks {
+		workers = chunks
+	}
+	// Chunk size: ceil division by workers, rounded up to align so no two
+	// workers share a cache line of the destination.
+	chunk := (n + workers - 1) / workers
+	chunk = (chunk + align - 1) / align * align
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,87 @@
+package parsecureml
+
+import (
+	"testing"
+
+	"parsecureml/internal/tensor"
+)
+
+func TestPublicSecureMatMul(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TensorCores = false
+	fw := New(cfg)
+	r := NewRand(1)
+	a := NewMatrix(16, 24)
+	b := NewMatrix(24, 8)
+	for i := range a.Data {
+		a.Data[i] = r.Float32() - 0.5
+	}
+	for i := range b.Data {
+		b.Data[i] = r.Float32() - 0.5
+	}
+	c, modeled := fw.SecureMatMul("t", a, b)
+	want := tensor.MulNaive(a, b)
+	if !c.ApproxEqual(want, 1e-3) {
+		t.Fatalf("secure product off by %v", c.MaxAbsDiff(want))
+	}
+	if modeled <= 0 || fw.ModeledTime() < modeled {
+		t.Fatalf("modeled time bookkeeping: %v vs %v", modeled, fw.ModeledTime())
+	}
+}
+
+func TestPublicSecureHadamard(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TensorCores = false
+	fw := New(cfg)
+	a := MatrixFromSlice(1, 3, []float32{1, 2, 3})
+	b := MatrixFromSlice(1, 3, []float32{4, 5, 6})
+	c, _ := fw.SecureHadamard("h", a, b)
+	want := MatrixFromSlice(1, 3, []float32{4, 10, 18})
+	if !c.ApproxEqual(want, 1e-2) {
+		t.Fatalf("secure Hadamard off by %v", c.MaxAbsDiff(want))
+	}
+}
+
+func TestPublicSecureTraining(t *testing.T) {
+	cfg := SecureMLBaselineConfig()
+	fw := New(cfg)
+	plain := NewLogisticRegression(8, NewRand(2))
+	model := fw.Secure(plain, MSE)
+	x := NewMatrix(32, 8)
+	y := NewMatrix(32, 1)
+	r := NewRand(3)
+	for i := range x.Data {
+		x.Data[i] = r.Float32() - 0.5
+	}
+	model.Prepare([]*Matrix{x}, []*Matrix{y})
+	model.TrainEpochs(2, 0.1)
+	ph := model.Phases()
+	if ph.Offline <= 0 || ph.Online <= 0 {
+		t.Fatalf("phases %+v", ph)
+	}
+	wire, dense, _ := fw.TrafficStats()
+	if wire <= 0 || dense < wire {
+		t.Fatalf("traffic stats wire=%d dense=%d", wire, dense)
+	}
+}
+
+func TestPublicModelConstructors(t *testing.T) {
+	r := NewRand(4)
+	models := []*Model{
+		NewMLP(32, r),
+		NewCNN(8, 8, 2, r),
+		NewRNNModel(4, 8, 3, r),
+		NewLinearRegression(16, r),
+		NewLogisticRegression(16, r),
+		NewSVM(16, r),
+	}
+	for _, m := range models {
+		if m.InDim() <= 0 || m.OutDim() <= 0 {
+			t.Fatalf("%s dims", m.Name)
+		}
+	}
+	labels := OneHot([]int{0, 1, 2}, 3)
+	if labels.At(2, 2) != 1 {
+		t.Fatal("OneHot re-export broken")
+	}
+}
