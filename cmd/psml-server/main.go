@@ -10,12 +10,23 @@
 // Each accepted client connection is served until it disconnects; the
 // servers verify each other's party index with a handshake. Neither
 // process ever holds more than additive shares of the client's data.
+//
+// Failure behavior: the peer dial retries with exponential backoff (so
+// start order doesn't matter), per-frame deadlines bound every protocol
+// step (so a client killed mid-request times out instead of wedging the
+// peer link), a failed session never takes the process down, and SIGINT/
+// SIGTERM drain into a graceful shutdown.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"parsecureml/internal/comm"
 	"parsecureml/internal/mpc"
@@ -26,6 +37,10 @@ func main() {
 	listen := flag.String("listen", ":9100", "address for client connections")
 	peerListen := flag.String("peer-listen", "", "listen for the peer server on this address")
 	peerDial := flag.String("peer-dial", "", "connect to the peer server at this address")
+	clientTimeout := flag.Duration("client-timeout", 30*time.Second, "per-frame deadline on client connections; also the session idle timeout (0 disables)")
+	peerTimeout := flag.Duration("peer-timeout", 10*time.Second, "per-frame deadline on the inter-server link (0 disables)")
+	dialAttempts := flag.Int("peer-dial-attempts", 10, "max peer dial attempts before giving up")
+	dialBackoff := flag.Duration("peer-dial-backoff", 100*time.Millisecond, "initial backoff between peer dial attempts (doubles, capped at 2s)")
 	flag.Parse()
 
 	if *party != 0 && *party != 1 {
@@ -35,8 +50,12 @@ func main() {
 		log.Fatalf("exactly one of -peer-listen / -peer-dial is required")
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// Establish the inter-server link first (the paper's server1<->server2
-	// InfiniBand edge).
+	// InfiniBand edge). The dialing side retries: starting the dialer
+	// before the listener is a supported launch order, not a crash.
 	var peer *comm.Conn
 	var err error
 	if *peerListen != "" {
@@ -44,18 +63,31 @@ func main() {
 		if err != nil {
 			log.Fatalf("peer listen: %v", err)
 		}
+		unblock := context.AfterFunc(ctx, func() { ln.Close() })
 		log.Printf("party %d waiting for peer on %s", *party, *peerListen)
 		peer, err = comm.Accept(ln)
+		unblock()
 		if err != nil {
+			if ctx.Err() != nil {
+				log.Printf("party %d: shutdown before peer connected", *party)
+				return
+			}
 			log.Fatalf("peer accept: %v", err)
 		}
 		ln.Close()
 	} else {
-		peer, err = comm.Dial(*peerDial)
+		peer, err = comm.DialRetry(*peerDial, comm.RetryConfig{
+			Attempts:  *dialAttempts,
+			BaseDelay: *dialBackoff,
+		})
 		if err != nil {
 			log.Fatalf("peer dial: %v", err)
 		}
 	}
+	defer peer.Close()
+
+	// Bound the handshake so a half-open peer can't hang startup.
+	peer.SetTimeouts(30*time.Second, 30*time.Second)
 	if err := mpc.WriteHello(peer, *party); err != nil {
 		log.Fatalf("peer hello: %v", err)
 	}
@@ -73,17 +105,13 @@ func main() {
 		log.Fatalf("client listen: %v", err)
 	}
 	fmt.Printf("psml-server party %d serving clients on %s\n", *party, *listen)
-	for {
-		client, err := comm.Accept(ln)
-		if err != nil {
-			log.Fatalf("client accept: %v", err)
-		}
-		log.Printf("party %d: client session start", *party)
-		if err := mpc.ServeLoop(*party, client, peer); err != nil {
-			log.Printf("party %d: session error: %v", *party, err)
-		} else {
-			log.Printf("party %d: client session done", *party)
-		}
-		client.Close()
+	err = mpc.ServeClients(ctx, *party, ln, peer, mpc.ServeConfig{
+		ClientTimeout: *clientTimeout,
+		PeerTimeout:   *peerTimeout,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("party %d: serve: %v", *party, err)
 	}
+	log.Printf("party %d: graceful shutdown", *party)
 }

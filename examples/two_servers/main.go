@@ -5,11 +5,20 @@
 // multiplications through them from a client, and verifies every product.
 // Swap the goroutines for two `psml-server` processes on different
 // machines and the bytes on the wire are identical.
+//
+// It also demonstrates the failure-aware serving layer: a rogue client
+// uploads shares to only one server and dies. With per-frame deadlines
+// the stuck party times out instead of blocking forever, and the
+// request-id tagging on the peer link lets the next (honest) client be
+// served correctly.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"parsecureml"
 
@@ -18,7 +27,8 @@ import (
 )
 
 func main() {
-	// Inter-server link (server0 listens, server1 dials).
+	// Inter-server link (server0 listens, server1 dials with retry — the
+	// start order of the two servers doesn't matter).
 	peerLn, err := comm.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -35,62 +45,91 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := mpc.ServeConfig{
+		ClientTimeout: 5 * time.Second,
+		PeerTimeout:   500 * time.Millisecond,
+		Logf:          log.Printf,
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
 	// Server 0.
 	go func() {
+		defer wg.Done()
 		peer, err := comm.Accept(peerLn)
 		if err != nil {
 			log.Fatal(err)
 		}
-		client, err := comm.Accept(ln0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := mpc.ServeLoop(0, client, peer); err != nil {
+		defer peer.Close()
+		if err := mpc.ServeClients(ctx, 0, ln0, peer, cfg); err != nil {
 			log.Printf("server 0: %v", err)
 		}
 	}()
 	// Server 1.
 	go func() {
-		peer, err := comm.Dial(peerAddr)
+		defer wg.Done()
+		peer, err := comm.DialRetry(peerAddr, comm.RetryConfig{Attempts: 10})
 		if err != nil {
 			log.Fatal(err)
 		}
-		client, err := comm.Accept(ln1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := mpc.ServeLoop(1, client, peer); err != nil {
+		defer peer.Close()
+		if err := mpc.ServeClients(ctx, 1, ln1, peer, cfg); err != nil {
 			log.Printf("server 1: %v", err)
 		}
 	}()
 
-	// Client: split inputs, upload shares, receive merged products.
-	c0, err := comm.Dial(ln0.Addr().String())
-	if err != nil {
-		log.Fatal(err)
-	}
-	c1, err := comm.Dial(ln1.Addr().String())
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer c0.Close()
-	defer c1.Close()
-
 	deployment := parsecureml.New(parsecureml.SecureMLBaselineConfig())
 	client := deployment.Deployment().Client
 	r := parsecureml.NewRand(99)
+	fill := func(m, k int) *parsecureml.Matrix {
+		x := parsecureml.NewMatrix(m, k)
+		for i := range x.Data {
+			x.Data[i] = r.Float32() - 0.5
+		}
+		return x
+	}
+
+	// A rogue client: uploads a request to server 0 only, then dies. Party
+	// 0 ships its masked E/F frame to the peer and would — without
+	// deadlines — block forever waiting for party 1's reply; party 1 never
+	// even saw the request. The serving layer times the session out and
+	// both servers move on.
+	fmt.Println("rogue client uploads to server 0 only, then dies:")
+	rogueA, rogueB := fill(8, 8), fill(8, 8)
+	in0, _ := mpc.RemoteClientSplit(rogueA, rogueB, client)
+	rogue, err := comm.Dial(ln0.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rogue.WriteFrame(mpc.EncodeRequest(7, in0)); err != nil {
+		log.Fatal(err)
+	}
+	rogue.Close() // dead before ever contacting server 1
+
+	// Party 0 holds the peer link until its deadline fires; a request
+	// racing into that window would fail once (a production client simply
+	// retries). Wait it out so every round below verifies.
+	time.Sleep(2 * cfg.PeerTimeout)
+
+	// An honest client: split inputs, upload shares to both servers
+	// concurrently, receive merged products. Works despite the orphaned
+	// frame the rogue left on the peer link.
+	c0, err := comm.DialRetry(ln0.Addr().String(), comm.RetryConfig{Attempts: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c1, err := comm.DialRetry(ln1.Addr().String(), comm.RetryConfig{Attempts: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c0.SetTimeouts(5*time.Second, 5*time.Second)
+	c1.SetTimeouts(5*time.Second, 5*time.Second)
 
 	fmt.Println("two live TCP servers; client drives 3 secure multiplications:")
 	for round := 0; round < 3; round++ {
 		m, k, n := 64+round*16, 96, 32
-		a := parsecureml.NewMatrix(m, k)
-		b := parsecureml.NewMatrix(k, n)
-		for i := range a.Data {
-			a.Data[i] = r.Float32() - 0.5
-		}
-		for i := range b.Data {
-			b.Data[i] = r.Float32() - 0.5
-		}
+		a, b := fill(m, k), fill(k, n)
 		in0, in1 := mpc.RemoteClientSplit(a, b, client)
 		got, err := mpc.RequestMul(c0, c1, in0, in1)
 		if err != nil {
@@ -115,5 +154,11 @@ func main() {
 		}
 		fmt.Printf("  round %d: %dx%d x %dx%d over TCP, max error %.3g\n", round, m, k, k, n, maxDiff)
 	}
+	c0.Close()
+	c1.Close()
 	fmt.Println("all products verified; servers saw only shares and masked E/F frames")
+
+	cancel()
+	wg.Wait()
+	fmt.Println("servers shut down gracefully")
 }

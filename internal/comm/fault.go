@@ -1,0 +1,120 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// FaultConn is a net.Conn wrapper that injects transport faults for
+// tests: delayed operations, fragmented (short) writes, corrupted bytes
+// at a chosen stream offset, and hard failures after a byte budget. Wrap
+// one under a framed Conn (comm.Wrap) to exercise the codec and the
+// serving layer against the failure modes a real fabric produces:
+//
+//	raw, peer := net.Pipe()
+//	fc := comm.NewFaultConn(raw)
+//	fc.CorruptWriteAt = 3 // flip the length prefix's high byte
+//	conn := comm.Wrap(fc)
+//
+// Fault fields are read without locking by the Read/Write paths;
+// configure them before moving traffic. Each direction assumes the usual
+// single-reader/single-writer discipline.
+type FaultConn struct {
+	Inner net.Conn
+
+	ReadDelay  time.Duration // sleep before every Read
+	WriteDelay time.Duration // sleep before every Write
+
+	// WriteChunk > 0 fragments writes into chunks of at most this many
+	// bytes (legal short writes a stream transport may always produce;
+	// the reader must reassemble).
+	WriteChunk int
+
+	// CorruptWriteAt >= 0 XORs 0xFF into the single byte at that offset
+	// of the outgoing byte stream (offset 0..3 hits a frame's length
+	// prefix). -1 disables.
+	CorruptWriteAt int64
+
+	// FailWriteAfter >= 0 makes writes fail (with ErrInjected) once this
+	// many bytes have been sent; a write straddling the boundary is cut
+	// short first — a mid-frame truncation. -1 disables.
+	FailWriteAfter int64
+
+	// FailReadAfter >= 0 makes reads fail (with ErrInjected) once this
+	// many bytes have been delivered. -1 disables.
+	FailReadAfter int64
+
+	written, read int64
+}
+
+// ErrInjected marks failures produced by a FaultConn's byte budgets.
+var ErrInjected = errors.New("comm: injected fault")
+
+// NewFaultConn wraps inner with all faults disabled.
+func NewFaultConn(inner net.Conn) *FaultConn {
+	return &FaultConn{Inner: inner, CorruptWriteAt: -1, FailWriteAfter: -1, FailReadAfter: -1}
+}
+
+// Write implements net.Conn, applying the configured write-side faults.
+func (f *FaultConn) Write(p []byte) (int, error) {
+	if f.WriteDelay > 0 {
+		time.Sleep(f.WriteDelay)
+	}
+	total := 0
+	for total < len(p) {
+		n := len(p) - total
+		if f.WriteChunk > 0 && n > f.WriteChunk {
+			n = f.WriteChunk
+		}
+		if f.FailWriteAfter >= 0 {
+			remain := f.FailWriteAfter - f.written
+			if remain <= 0 {
+				return total, fmt.Errorf("comm: write stopped after %d bytes: %w", f.written, ErrInjected)
+			}
+			if int64(n) > remain {
+				n = int(remain)
+			}
+		}
+		chunk := p[total : total+n]
+		if off := f.CorruptWriteAt; off >= f.written && off < f.written+int64(n) {
+			c := append([]byte(nil), chunk...)
+			c[off-f.written] ^= 0xFF
+			chunk = c
+		}
+		m, err := f.Inner.Write(chunk)
+		f.written += int64(m)
+		total += m
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Read implements net.Conn, applying the configured read-side faults.
+func (f *FaultConn) Read(p []byte) (int, error) {
+	if f.ReadDelay > 0 {
+		time.Sleep(f.ReadDelay)
+	}
+	if f.FailReadAfter >= 0 {
+		remain := f.FailReadAfter - f.read
+		if remain <= 0 {
+			return 0, fmt.Errorf("comm: read stopped after %d bytes: %w", f.read, ErrInjected)
+		}
+		if int64(len(p)) > remain {
+			p = p[:remain]
+		}
+	}
+	n, err := f.Inner.Read(p)
+	f.read += int64(n)
+	return n, err
+}
+
+func (f *FaultConn) Close() error                       { return f.Inner.Close() }
+func (f *FaultConn) LocalAddr() net.Addr                { return f.Inner.LocalAddr() }
+func (f *FaultConn) RemoteAddr() net.Addr               { return f.Inner.RemoteAddr() }
+func (f *FaultConn) SetDeadline(t time.Time) error      { return f.Inner.SetDeadline(t) }
+func (f *FaultConn) SetReadDeadline(t time.Time) error  { return f.Inner.SetReadDeadline(t) }
+func (f *FaultConn) SetWriteDeadline(t time.Time) error { return f.Inner.SetWriteDeadline(t) }

@@ -2,46 +2,124 @@ package comm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // TCP transport: the same frames the modeled Link meters, moved over real
 // sockets. The paper's MPI layer plays this role; stdlib net is the
 // closest equivalent. Frames are length-prefixed (u32 little-endian).
+//
+// Concurrency contract: WriteFrame and ReadFrame are each safe for
+// concurrent use — a frame is written and read atomically (never
+// interleaved with another goroutine's frame) — but the ordering of
+// frames from concurrent writers is unspecified, and concurrent readers
+// race for whole frames. The usual shape is one reader and any number of
+// writers per direction.
 
 // MaxFrameBytes bounds a single frame (1 GiB) to fail fast on corrupted
-// length prefixes.
+// length prefixes. The bound is enforced symmetrically: WriteFrame
+// rejects oversized frames before touching the wire (a frame over 4 GiB
+// would otherwise silently truncate its u32 length prefix and desync the
+// stream), and ReadFrame rejects prefixes that claim more.
 const MaxFrameBytes = 1 << 30
 
-// Conn is a framed connection.
-type Conn struct {
-	c net.Conn
+// ErrFrameTooLarge is wrapped by WriteFrame and ReadFrame when a frame
+// exceeds the size limit.
+var ErrFrameTooLarge = errors.New("frame exceeds size limit")
+
+// Framer is the frame-level transport contract: atomic whole-frame writes
+// and reads. *Conn implements it over real sockets; the mpc serving layer
+// wraps it to scope frames to a request.
+type Framer interface {
+	WriteFrame(frame []byte) error
+	ReadFrame() ([]byte, error)
 }
 
-// WriteFrame sends one length-prefixed frame.
+// Conn is a framed connection with optional per-frame deadlines.
+type Conn struct {
+	c     net.Conn
+	limit int // max frame size; MaxFrameBytes unless overridden in tests
+
+	wmu, rmu sync.Mutex
+	// Per-frame timeouts (nanoseconds); 0 means no deadline. Stored
+	// atomically so a serving loop can keep reading while timeouts change.
+	readTO, writeTO atomic.Int64
+}
+
+func newConn(c net.Conn) *Conn { return &Conn{c: c, limit: MaxFrameBytes} }
+
+// Wrap frames an arbitrary net.Conn — the hook for injecting a FaultConn
+// (or any other transport) under the framed codec.
+func Wrap(c net.Conn) *Conn { return newConn(c) }
+
+// SetTimeouts configures per-frame deadlines: every subsequent WriteFrame
+// (ReadFrame) must complete within write (read) or fail with a timeout
+// error (see IsTimeout). Zero disables the corresponding deadline.
+// Prefer calling this before the connection is in active use.
+func (fc *Conn) SetTimeouts(read, write time.Duration) {
+	fc.readTO.Store(int64(read))
+	fc.writeTO.Store(int64(write))
+	if read <= 0 {
+		fc.c.SetReadDeadline(time.Time{})
+	}
+	if write <= 0 {
+		fc.c.SetWriteDeadline(time.Time{})
+	}
+}
+
+// IsTimeout reports whether err (from WriteFrame/ReadFrame) is a deadline
+// expiry rather than a peer failure.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// WriteFrame sends one length-prefixed frame atomically: concurrent
+// writers never interleave bytes. Frames over MaxFrameBytes are rejected
+// before anything is written, mirroring ReadFrame's limit — without this
+// a ≥4 GiB frame would truncate its u32 length prefix and desync the
+// stream.
 func (fc *Conn) WriteFrame(frame []byte) error {
+	if len(frame) > fc.limit {
+		return fmt.Errorf("comm: write frame of %d bytes (limit %d): %w", len(frame), fc.limit, ErrFrameTooLarge)
+	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
-	if _, err := fc.c.Write(hdr[:]); err != nil {
-		return fmt.Errorf("comm: write frame header: %w", err)
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	if d := fc.writeTO.Load(); d > 0 {
+		fc.c.SetWriteDeadline(time.Now().Add(time.Duration(d)))
 	}
-	if _, err := fc.c.Write(frame); err != nil {
-		return fmt.Errorf("comm: write frame body: %w", err)
+	// One vectored write keeps header+body a single syscall on TCP; the
+	// mutex keeps the pair atomic on transports without writev.
+	bufs := net.Buffers{hdr[:], frame}
+	if _, err := bufs.WriteTo(fc.c); err != nil {
+		return fmt.Errorf("comm: write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame receives one frame.
+// ReadFrame receives one frame. The read deadline, when set, covers the
+// whole frame (header and body).
 func (fc *Conn) ReadFrame() ([]byte, error) {
+	fc.rmu.Lock()
+	defer fc.rmu.Unlock()
+	if d := fc.readTO.Load(); d > 0 {
+		fc.c.SetReadDeadline(time.Now().Add(time.Duration(d)))
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(fc.c, hdr[:]); err != nil {
 		return nil, fmt.Errorf("comm: read frame header: %w", err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > MaxFrameBytes {
-		return nil, fmt.Errorf("comm: frame of %d bytes exceeds limit", n)
+	if int64(n) > int64(fc.limit) {
+		return nil, fmt.Errorf("comm: read frame of %d bytes (limit %d): %w", n, fc.limit, ErrFrameTooLarge)
 	}
 	frame := make([]byte, n)
 	if _, err := io.ReadFull(fc.c, frame); err != nil {
@@ -50,14 +128,16 @@ func (fc *Conn) ReadFrame() ([]byte, error) {
 	return frame, nil
 }
 
-// Close closes the underlying connection.
+// Close closes the underlying connection, unblocking any in-flight
+// ReadFrame/WriteFrame.
 func (fc *Conn) Close() error { return fc.c.Close() }
 
 // Pipe returns two framed connections wired to each other in memory
-// (net.Pipe), handy for tests.
+// (net.Pipe), handy for tests. Note net.Pipe is synchronous: a WriteFrame
+// blocks until the peer reads it, unlike a buffered TCP socket.
 func Pipe() (*Conn, *Conn) {
 	a, b := net.Pipe()
-	return &Conn{c: a}, &Conn{c: b}
+	return newConn(a), newConn(b)
 }
 
 // Listen starts a TCP listener on addr (e.g. "127.0.0.1:0") and returns
@@ -72,14 +152,63 @@ func Accept(l net.Listener) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{c: c}, nil
+	return newConn(c), nil
 }
 
-// Dial connects to a framed TCP peer.
+// Dial connects to a framed TCP peer with a single attempt.
 func Dial(addr string) (*Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{c: c}, nil
+	return newConn(c), nil
+}
+
+// RetryConfig bounds DialRetry. Zero fields take the stated defaults.
+type RetryConfig struct {
+	Attempts    int           // max dial attempts (default 5)
+	BaseDelay   time.Duration // backoff before the 2nd attempt, doubling after (default 50ms)
+	MaxDelay    time.Duration // backoff cap (default 2s)
+	DialTimeout time.Duration // per-attempt connect timeout (default 3s)
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Attempts <= 0 {
+		c.Attempts = 5
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 50 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	return c
+}
+
+// DialRetry connects to a framed TCP peer, retrying with bounded
+// exponential backoff. This closes the startup race where one server
+// dials its peer before the peer's listener is up: transient refusals are
+// absorbed instead of being fatal.
+func DialRetry(addr string, cfg RetryConfig) (*Conn, error) {
+	cfg = cfg.withDefaults()
+	delay := cfg.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+			if delay > cfg.MaxDelay {
+				delay = cfg.MaxDelay
+			}
+		}
+		c, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+		if err == nil {
+			return newConn(c), nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("comm: dial %s: %d attempts exhausted: %w", addr, cfg.Attempts, lastErr)
 }

@@ -17,9 +17,11 @@ import (
 
 // RemoteParty executes party i of one triplet multiplication C = A×B over
 // conn, which must be connected to the other party running the same
-// function with the complementary index. Blocking; returns this party's
-// share C_i.
-func RemoteParty(party int, conn *comm.Conn, in Shares) (*tensor.Matrix, error) {
+// function with the complementary index. Blocking (bounded by conn's
+// deadlines, if any); returns this party's share C_i. conn is any framed
+// transport — a raw comm.Conn, or the serving layer's request-tagged
+// wrapper.
+func RemoteParty(party int, conn comm.Framer, in Shares) (*tensor.Matrix, error) {
 	if party != 0 && party != 1 {
 		return nil, fmt.Errorf("mpc: remote party index %d", party)
 	}

@@ -1,11 +1,15 @@
 package mpc
 
 import (
+	"context"
+	cryptorand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
+	"time"
 
 	"parsecureml/internal/comm"
 	"parsecureml/internal/tensor"
@@ -17,18 +21,29 @@ import (
 // return C_i. cmd/psml-server wraps this in a binary, so the two parties
 // can be separate processes (or machines) — the deployment shape of
 // Fig. 1b with TCP standing in for MPI.
+//
+// Failure awareness: every request carries a client-chosen 64-bit id, and
+// the servers tag their peer-exchange frames with it. A client that dies
+// after uploading to only one server leaves that server's E/F frame
+// orphaned on the peer link; with per-frame deadlines the stuck party
+// times out instead of blocking forever, and on the next request the
+// other party recognizes the orphaned frame as stale (wrong id) and
+// discards it — one misbehaving client can neither wedge nor desync the
+// inter-server link.
 
 // EncodeShares serializes one party's multiplication inputs as a single
-// frame: A, B, U, V, Z in order.
-func EncodeShares(in Shares) []byte {
-	frame := tensor.EncodeMatrix(nil, in.A)
+// payload: A, B, U, V, Z in order.
+func EncodeShares(in Shares) []byte { return appendShares(nil, in) }
+
+func appendShares(frame []byte, in Shares) []byte {
+	frame = tensor.EncodeMatrix(frame, in.A)
 	frame = tensor.EncodeMatrix(frame, in.B)
 	frame = tensor.EncodeMatrix(frame, in.T.U)
 	frame = tensor.EncodeMatrix(frame, in.T.V)
 	return tensor.EncodeMatrix(frame, in.T.Z)
 }
 
-// DecodeShares parses a frame produced by EncodeShares.
+// DecodeShares parses a payload produced by EncodeShares.
 func DecodeShares(frame []byte) (Shares, error) {
 	var out Shares
 	mats := make([]*tensor.Matrix, 5)
@@ -49,27 +64,102 @@ func DecodeShares(frame []byte) (Shares, error) {
 	return out, nil
 }
 
+// requestIDBytes prefixes every client request and every peer-exchange
+// frame of the session protocol.
+const requestIDBytes = 8
+
+// EncodeRequest serializes one multiplication request: the request id
+// followed by the shares payload.
+func EncodeRequest(id uint64, in Shares) []byte {
+	frame := binary.LittleEndian.AppendUint64(nil, id)
+	return appendShares(frame, in)
+}
+
+// DecodeRequest parses a frame produced by EncodeRequest.
+func DecodeRequest(frame []byte) (uint64, Shares, error) {
+	if len(frame) < requestIDBytes {
+		return 0, Shares{}, fmt.Errorf("mpc: request frame of %d bytes has no id", len(frame))
+	}
+	id := binary.LittleEndian.Uint64(frame)
+	in, err := DecodeShares(frame[requestIDBytes:])
+	return id, in, err
+}
+
+// reqCounter hands out process-unique request ids, starting from a
+// random base so ids from a restarted client don't collide with frames a
+// previous incarnation left on the servers' peer link.
+var reqCounter atomic.Uint64
+
+func init() {
+	var seed [requestIDBytes]byte
+	cryptorand.Read(seed[:]) // a zero base on error is merely less unique
+	reqCounter.Store(binary.LittleEndian.Uint64(seed[:]))
+}
+
+func newRequestID() uint64 { return reqCounter.Add(1) }
+
+// maxStaleFrames bounds how many orphaned peer frames one read will
+// discard before declaring the link desynchronized.
+const maxStaleFrames = 32
+
+// ErrPeerDesync reports a peer link delivering nothing but frames from
+// other requests.
+var ErrPeerDesync = errors.New("mpc: peer link desynchronized")
+
+// taggedConn scopes peer-exchange frames to one request: writes prefix
+// the id, reads discard frames whose id differs (orphans of rounds that
+// died on the other party before it consumed them).
+type taggedConn struct {
+	c  comm.Framer
+	id uint64
+}
+
+func (t *taggedConn) WriteFrame(b []byte) error {
+	f := make([]byte, requestIDBytes+len(b))
+	binary.LittleEndian.PutUint64(f, t.id)
+	copy(f[requestIDBytes:], b)
+	return t.c.WriteFrame(f)
+}
+
+func (t *taggedConn) ReadFrame() ([]byte, error) {
+	for i := 0; i < maxStaleFrames; i++ {
+		f, err := t.c.ReadFrame()
+		if err != nil {
+			return nil, err
+		}
+		if len(f) < requestIDBytes {
+			return nil, fmt.Errorf("mpc: peer frame of %d bytes has no request id", len(f))
+		}
+		if binary.LittleEndian.Uint64(f) == t.id {
+			return f[requestIDBytes:], nil
+		}
+		// Stale frame from an aborted round: drop and keep reading.
+	}
+	return nil, ErrPeerDesync
+}
+
 // ServeTriplet handles one multiplication request: read the client's
-// shares frame, run the party's protocol against the peer, return C_i to
-// the client. io.EOF from the client ends a serving loop cleanly.
-func ServeTriplet(party int, client, peer *comm.Conn) error {
+// request frame, run the party's protocol against the peer under the
+// request's id, return C_i to the client. io.EOF from the client ends a
+// serving loop cleanly.
+func ServeTriplet(party int, client, peer comm.Framer) error {
 	frame, err := client.ReadFrame()
 	if err != nil {
 		return err // including io.EOF: client done
 	}
-	in, err := DecodeShares(frame)
+	id, in, err := DecodeRequest(frame)
 	if err != nil {
 		return err
 	}
-	ci, err := RemoteParty(party, peer, in)
+	ci, err := RemoteParty(party, &taggedConn{c: peer, id: id}, in)
 	if err != nil {
-		return err
+		return fmt.Errorf("mpc: request %016x: %w", id, err)
 	}
 	return client.WriteFrame(tensor.EncodeMatrix(nil, ci))
 }
 
 // ServeLoop runs ServeTriplet until the client disconnects.
-func ServeLoop(party int, client, peer *comm.Conn) error {
+func ServeLoop(party int, client, peer comm.Framer) error {
 	for {
 		if err := ServeTriplet(party, client, peer); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
@@ -80,32 +170,128 @@ func ServeLoop(party int, client, peer *comm.Conn) error {
 	}
 }
 
-// RequestMul is the client side of one remote multiplication: send the
-// pre-split shares to both servers, collect and merge the result shares.
-func RequestMul(s0, s1 *comm.Conn, in0, in1 Shares) (*tensor.Matrix, error) {
-	if err := s0.WriteFrame(EncodeShares(in0)); err != nil {
-		return nil, fmt.Errorf("mpc: upload to server 0: %w", err)
+// ServerError is RequestMul's typed failure: which server, which step.
+type ServerError struct {
+	Server int    // 0 or 1
+	Op     string // "upload", "result", "decode"
+	Err    error
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("mpc: server %d %s: %v", e.Server, e.Op, e.Err)
+}
+
+func (e *ServerError) Unwrap() error { return e.Err }
+
+// RequestMul is the client side of one remote multiplication: ship the
+// pre-split shares to both servers concurrently, collect and merge the
+// result shares. Deadlines come from the connections (comm.Conn
+// SetTimeouts); failures identify the server and step via *ServerError.
+func RequestMul(s0, s1 comm.Framer, in0, in1 Shares) (*tensor.Matrix, error) {
+	id := newRequestID()
+	results := make(chan *ServerError, 2)
+	shares := [2]*tensor.Matrix{}
+	leg := func(server int, c comm.Framer, in Shares) {
+		if err := c.WriteFrame(EncodeRequest(id, in)); err != nil {
+			results <- &ServerError{Server: server, Op: "upload", Err: err}
+			return
+		}
+		f, err := c.ReadFrame()
+		if err != nil {
+			results <- &ServerError{Server: server, Op: "result", Err: err}
+			return
+		}
+		m, _, err := tensor.DecodeMatrix(f)
+		if err != nil {
+			results <- &ServerError{Server: server, Op: "decode", Err: err}
+			return
+		}
+		shares[server] = m
+		results <- nil
 	}
-	if err := s1.WriteFrame(EncodeShares(in1)); err != nil {
-		return nil, fmt.Errorf("mpc: upload to server 1: %w", err)
+	go leg(0, s0, in0)
+	go leg(1, s1, in1)
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	f0, err := s0.ReadFrame()
-	if err != nil {
-		return nil, fmt.Errorf("mpc: result from server 0: %w", err)
+	if firstErr != nil {
+		return nil, firstErr
 	}
-	f1, err := s1.ReadFrame()
-	if err != nil {
-		return nil, fmt.Errorf("mpc: result from server 1: %w", err)
+	return RemoteCombine(shares[0], shares[1]), nil
+}
+
+// ServeConfig tunes a serving accept loop.
+type ServeConfig struct {
+	// ClientTimeout is the per-frame deadline on client connections; it
+	// doubles as the session idle timeout (a client that goes quiet for
+	// longer is disconnected). 0 disables.
+	ClientTimeout time.Duration
+	// PeerTimeout is the per-frame deadline on the inter-server link —
+	// the bound on how long a party blocks when the complementary request
+	// never arrives at its peer. 0 disables (and restores the wedge).
+	PeerTimeout time.Duration
+	// Logf receives serving events; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (c ServeConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
 	}
-	c0, _, err := tensor.DecodeMatrix(f0)
-	if err != nil {
-		return nil, err
+}
+
+// maxAcceptFailures bounds consecutive listener failures before
+// ServeClients gives up (a closed or broken listener, not a bad client).
+const maxAcceptFailures = 5
+
+// ServeClients is the failure-contained accept loop of one computation
+// party: serve client sessions from ln one at a time (the peer link
+// serializes sessions) until ctx is cancelled or the listener dies. A
+// session that fails — malformed frames, a client killed mid-protocol, a
+// peer-exchange timeout — is logged and closed; the loop then accepts
+// the next client, and the request-id tagging lets the peers shed any
+// frames the dead session orphaned. Returns nil on graceful shutdown.
+func ServeClients(ctx context.Context, party int, ln net.Listener, peer *comm.Conn, cfg ServeConfig) error {
+	if cfg.PeerTimeout > 0 {
+		peer.SetTimeouts(cfg.PeerTimeout, cfg.PeerTimeout)
 	}
-	c1, _, err := tensor.DecodeMatrix(f1)
-	if err != nil {
-		return nil, err
+	// Cancelling ctx closes the listener, unblocking Accept.
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+
+	failures := 0
+	for {
+		client, err := comm.Accept(ln)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			failures++
+			if failures >= maxAcceptFailures {
+				return fmt.Errorf("mpc: party %d accept: %w", party, err)
+			}
+			cfg.logf("party %d: accept error (%d/%d): %v", party, failures, maxAcceptFailures, err)
+			time.Sleep(time.Duration(failures) * 10 * time.Millisecond)
+			continue
+		}
+		failures = 0
+		if cfg.ClientTimeout > 0 {
+			client.SetTimeouts(cfg.ClientTimeout, cfg.ClientTimeout)
+		}
+		cfg.logf("party %d: client session start", party)
+		if err := ServeLoop(party, client, peer); err != nil {
+			cfg.logf("party %d: session error: %v", party, err)
+		} else {
+			cfg.logf("party %d: client session done", party)
+		}
+		client.Close()
+		if ctx.Err() != nil {
+			return nil
+		}
 	}
-	return RemoteCombine(c0, c1), nil
 }
 
 // handshake tags so two psml-server processes can agree on who they are.
