@@ -41,6 +41,8 @@ func main() {
 	peerTimeout := flag.Duration("peer-timeout", 10*time.Second, "per-frame deadline on the inter-server link (0 disables)")
 	dialAttempts := flag.Int("peer-dial-attempts", 10, "max peer dial attempts before giving up")
 	dialBackoff := flag.Duration("peer-dial-backoff", 100*time.Millisecond, "initial backoff between peer dial attempts (doubles, capped at 2s)")
+	wirePipeline := flag.Bool("wire-pipeline", false, "serve with the banded double pipeline on the peer link (both servers must agree, including -wire-chunk-rows)")
+	wireChunkRows := flag.Int("wire-chunk-rows", 0, "row-band height of the pipelined E exchange; 0 streams whole matrices (requires -wire-pipeline)")
 	flag.Parse()
 
 	if *party != 0 && *party != 1 {
@@ -48,6 +50,9 @@ func main() {
 	}
 	if (*peerListen == "") == (*peerDial == "") {
 		log.Fatalf("exactly one of -peer-listen / -peer-dial is required")
+	}
+	if *wireChunkRows != 0 && !*wirePipeline {
+		log.Fatalf("-wire-chunk-rows requires -wire-pipeline")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -104,12 +109,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("client listen: %v", err)
 	}
-	fmt.Printf("psml-server party %d serving clients on %s\n", *party, *listen)
-	err = mpc.ServeClients(ctx, *party, ln, peer, mpc.ServeConfig{
+	cfg := mpc.ServeConfig{
 		ClientTimeout: *clientTimeout,
 		PeerTimeout:   *peerTimeout,
 		Logf:          log.Printf,
-	})
+	}
+	if *wirePipeline {
+		cfg.Wire = &mpc.WireConfig{ChunkRows: *wireChunkRows}
+		log.Printf("party %d: wire double pipeline enabled (chunk rows %d)", *party, *wireChunkRows)
+	}
+	fmt.Printf("psml-server party %d serving clients on %s\n", *party, *listen)
+	err = mpc.ServeClients(ctx, *party, ln, peer, cfg)
 	if err != nil {
 		log.Fatalf("party %d: serve: %v", *party, err)
 	}

@@ -27,6 +27,13 @@ type FaultConn struct {
 	ReadDelay  time.Duration // sleep before every Read
 	WriteDelay time.Duration // sleep before every Write
 
+	// WriteBytesPerSec > 0 throttles the outgoing stream to roughly this
+	// rate: every Write sleeps in proportion to the bytes it moves before
+	// they are passed on. WriteDelay models fixed per-operation latency;
+	// this models serialization delay on a bandwidth-limited fabric, the
+	// regime where overlapping transfer with compute pays.
+	WriteBytesPerSec int64
+
 	// WriteChunk > 0 fragments writes into chunks of at most this many
 	// bytes (legal short writes a stream transport may always produce;
 	// the reader must reassemble).
@@ -61,6 +68,9 @@ func NewFaultConn(inner net.Conn) *FaultConn {
 func (f *FaultConn) Write(p []byte) (int, error) {
 	if f.WriteDelay > 0 {
 		time.Sleep(f.WriteDelay)
+	}
+	if f.WriteBytesPerSec > 0 {
+		time.Sleep(time.Duration(int64(len(p)) * int64(time.Second) / f.WriteBytesPerSec))
 	}
 	total := 0
 	for total < len(p) {

@@ -41,12 +41,40 @@ type Framer interface {
 	ReadFrame() ([]byte, error)
 }
 
+// VecFramer is the optional zero-copy extension of Framer: one frame
+// written from several non-contiguous parts (header + payload) without
+// assembling them first. *Conn implements it; wrappers that prefix frames
+// (the mpc request tagging) use it to avoid one full-frame copy per
+// write.
+type VecFramer interface {
+	WriteFrameVec(parts ...[]byte) error
+}
+
+// FramerInto is the optional allocation-free extension of Framer: a frame
+// read into a caller-owned buffer. *Conn implements it; steady-state
+// serving loops use it to reuse one receive buffer per session.
+type FramerInto interface {
+	ReadFrameInto(buf []byte) ([]byte, error)
+}
+
 // Conn is a framed connection with optional per-frame deadlines.
 type Conn struct {
 	c     net.Conn
 	limit int // max frame size; MaxFrameBytes unless overridden in tests
 
 	wmu, rmu sync.Mutex
+	// Vectored-write scratch (guarded by wmu): the header bytes and the
+	// net.Buffers backing array, reused so WriteFrameVec does not allocate
+	// per frame.
+	whdr [4]byte
+	wvec [][]byte
+	// wnb is the net.Buffers header handed to WriteTo. A field rather
+	// than a local: WriteTo passes its receiver through an interface
+	// check, so a stack header would escape to the heap on every frame.
+	wnb net.Buffers
+	// Read-header scratch (guarded by rmu), a field so io.ReadFull's
+	// interface call cannot force a per-read heap escape.
+	rhdr [4]byte
 	// Per-frame timeouts (nanoseconds); 0 means no deadline. Stored
 	// atomically so a serving loop can keep reading while timeouts change.
 	readTO, writeTO atomic.Int64
@@ -89,17 +117,50 @@ func (fc *Conn) WriteFrame(frame []byte) error {
 	if len(frame) > fc.limit {
 		return fmt.Errorf("comm: write frame of %d bytes (limit %d): %w", len(frame), fc.limit, ErrFrameTooLarge)
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
 	fc.wmu.Lock()
 	defer fc.wmu.Unlock()
+	binary.LittleEndian.PutUint32(fc.whdr[:], uint32(len(frame)))
 	if d := fc.writeTO.Load(); d > 0 {
 		fc.c.SetWriteDeadline(time.Now().Add(time.Duration(d)))
 	}
 	// One vectored write keeps header+body a single syscall on TCP; the
-	// mutex keeps the pair atomic on transports without writev.
-	bufs := net.Buffers{hdr[:], frame}
-	if _, err := bufs.WriteTo(fc.c); err != nil {
+	// mutex keeps the pair atomic on transports without writev. The header
+	// and vector scratch live on the Conn so steady-state writes do not
+	// allocate.
+	fc.wvec = append(fc.wvec[:0], fc.whdr[:], frame)
+	fc.wnb = net.Buffers(fc.wvec)
+	if _, err := fc.wnb.WriteTo(fc.c); err != nil {
+		return fmt.Errorf("comm: write frame: %w", err)
+	}
+	return nil
+}
+
+// WriteFrameVec sends one frame assembled from several parts, atomically
+// like WriteFrame, without copying them into a contiguous buffer first:
+// the header and every part go to the socket as a single vectored write.
+// This is the zero-copy path for wrappers that prefix frames (request
+// tags) and for encode-in-place senders.
+func (fc *Conn) WriteFrameVec(parts ...[]byte) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total > fc.limit {
+		return fmt.Errorf("comm: write frame of %d bytes (limit %d): %w", total, fc.limit, ErrFrameTooLarge)
+	}
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	binary.LittleEndian.PutUint32(fc.whdr[:], uint32(total))
+	if d := fc.writeTO.Load(); d > 0 {
+		fc.c.SetWriteDeadline(time.Now().Add(time.Duration(d)))
+	}
+	// Reuse the connection's scratch vector so steady-state writes do not
+	// allocate the net.Buffers backing array (guarded by wmu).
+	fc.wvec = fc.wvec[:0]
+	fc.wvec = append(fc.wvec, fc.whdr[:])
+	fc.wvec = append(fc.wvec, parts...)
+	fc.wnb = net.Buffers(fc.wvec)
+	if _, err := fc.wnb.WriteTo(fc.c); err != nil {
 		return fmt.Errorf("comm: write frame: %w", err)
 	}
 	return nil
@@ -108,20 +169,36 @@ func (fc *Conn) WriteFrame(frame []byte) error {
 // ReadFrame receives one frame. The read deadline, when set, covers the
 // whole frame (header and body).
 func (fc *Conn) ReadFrame() ([]byte, error) {
+	return fc.readFrame(nil)
+}
+
+// ReadFrameInto receives one frame into buf's storage when its capacity
+// suffices, allocating only when the frame is larger. The returned slice
+// aliases buf in the reuse case; the caller owns both and must not issue
+// another read before consuming the frame.
+func (fc *Conn) ReadFrameInto(buf []byte) ([]byte, error) {
+	return fc.readFrame(buf)
+}
+
+func (fc *Conn) readFrame(buf []byte) ([]byte, error) {
 	fc.rmu.Lock()
 	defer fc.rmu.Unlock()
 	if d := fc.readTO.Load(); d > 0 {
 		fc.c.SetReadDeadline(time.Now().Add(time.Duration(d)))
 	}
-	var hdr [4]byte
-	if _, err := io.ReadFull(fc.c, hdr[:]); err != nil {
+	if _, err := io.ReadFull(fc.c, fc.rhdr[:]); err != nil {
 		return nil, fmt.Errorf("comm: read frame header: %w", err)
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(fc.rhdr[:])
 	if int64(n) > int64(fc.limit) {
 		return nil, fmt.Errorf("comm: read frame of %d bytes (limit %d): %w", n, fc.limit, ErrFrameTooLarge)
 	}
-	frame := make([]byte, n)
+	var frame []byte
+	if int64(cap(buf)) >= int64(n) {
+		frame = buf[:n]
+	} else {
+		frame = make([]byte, n)
+	}
 	if _, err := io.ReadFull(fc.c, frame); err != nil {
 		return nil, fmt.Errorf("comm: read frame body: %w", err)
 	}

@@ -36,7 +36,12 @@ type InferLayer struct {
 
 // EncodeInferSession serializes the session-setup frame for one party.
 func EncodeInferSession(layers []InferLayer) []byte {
-	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(layers)))
+	size := 4
+	for _, l := range layers {
+		size += 4 + tensor.EncodedSize(l.W) + tensor.EncodedSize(l.B) +
+			tensor.EncodedSize(l.T.U) + tensor.EncodedSize(l.T.V) + tensor.EncodedSize(l.T.Z)
+	}
+	frame := binary.LittleEndian.AppendUint32(make([]byte, 0, size), uint32(len(layers)))
 	for _, l := range layers {
 		act := uint32(l.Act)
 		if !l.HasAct {
@@ -95,7 +100,7 @@ func DecodeInferSession(frame []byte) ([]InferLayer, error) {
 // parties over their peer link: exchange pre-activation shares (fixed
 // order), evaluate f on the reconstruction, re-share with party 0's mask.
 func remoteActivation(party int, peer *comm.Conn, kind ActivationKind, yi *tensor.Matrix, mask *tensor.Matrix) (*tensor.Matrix, error) {
-	frame := tensor.EncodeMatrix(nil, yi)
+	frame := tensor.EncodeMatrix(make([]byte, 0, tensor.EncodedSize(yi)), yi)
 	var peerFrame []byte
 	var err error
 	if party == 0 {
@@ -123,7 +128,7 @@ func remoteActivation(party int, peer *comm.Conn, kind ActivationKind, yi *tenso
 	if party == 0 {
 		// share = f(y) − R; ship R to party 1.
 		share := tensor.SubTo(fy, mask)
-		if err := peer.WriteFrame(tensor.EncodeMatrix(nil, mask)); err != nil {
+		if err := peer.WriteFrame(tensor.EncodeMatrix(make([]byte, 0, tensor.EncodedSize(mask)), mask)); err != nil {
 			return nil, err
 		}
 		return share, nil
@@ -188,7 +193,7 @@ func ServeInference(party int, client, peer *comm.Conn, maskPool interface {
 			}
 			x = y
 		}
-		if err := client.WriteFrame(tensor.EncodeMatrix(nil, x)); err != nil {
+		if err := client.WriteFrame(tensor.EncodeMatrix(make([]byte, 0, tensor.EncodedSize(x)), x)); err != nil {
 			return err
 		}
 	}
@@ -215,10 +220,10 @@ func BuildInferSession(c *Client, batch int, weights []*tensor.Matrix, biases []
 // RequestInference sends one input's shares to both serving parties and
 // merges the returned prediction shares.
 func RequestInference(s0, s1 *comm.Conn, x0, x1 *tensor.Matrix) (*tensor.Matrix, error) {
-	if err := s0.WriteFrame(tensor.EncodeMatrix(nil, x0)); err != nil {
+	if err := s0.WriteFrame(tensor.EncodeMatrix(make([]byte, 0, tensor.EncodedSize(x0)), x0)); err != nil {
 		return nil, err
 	}
-	if err := s1.WriteFrame(tensor.EncodeMatrix(nil, x1)); err != nil {
+	if err := s1.WriteFrame(tensor.EncodeMatrix(make([]byte, 0, tensor.EncodedSize(x1)), x1)); err != nil {
 		return nil, err
 	}
 	f0, err := s0.ReadFrame()

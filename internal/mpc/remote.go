@@ -31,7 +31,8 @@ func RemoteParty(party int, conn comm.Framer, in Shares) (*tensor.Matrix, error)
 
 	// Exchange. Party 0 sends first, then receives; party 1 mirrors —
 	// a deadlock-free fixed order on one duplex connection.
-	frame := tensor.EncodeMatrix(nil, ei)
+	frame := make([]byte, 0, tensor.EncodedSize(ei)+tensor.EncodedSize(fi))
+	frame = tensor.EncodeMatrix(frame, ei)
 	frame = tensor.EncodeMatrix(frame, fi)
 	var peerFrame []byte
 	var err error

@@ -31,9 +31,18 @@ import (
 // discards it — one misbehaving client can neither wedge nor desync the
 // inter-server link.
 
+// sharesSize is the exact wire size of a shares payload, so encode
+// buffers never append-grow through multi-MB reallocations.
+func sharesSize(in Shares) int {
+	return tensor.EncodedSize(in.A) + tensor.EncodedSize(in.B) +
+		tensor.EncodedSize(in.T.U) + tensor.EncodedSize(in.T.V) + tensor.EncodedSize(in.T.Z)
+}
+
 // EncodeShares serializes one party's multiplication inputs as a single
 // payload: A, B, U, V, Z in order.
-func EncodeShares(in Shares) []byte { return appendShares(nil, in) }
+func EncodeShares(in Shares) []byte {
+	return appendShares(make([]byte, 0, sharesSize(in)), in)
+}
 
 func appendShares(frame []byte, in Shares) []byte {
 	frame = tensor.EncodeMatrix(frame, in.A)
@@ -71,7 +80,8 @@ const requestIDBytes = 8
 // EncodeRequest serializes one multiplication request: the request id
 // followed by the shares payload.
 func EncodeRequest(id uint64, in Shares) []byte {
-	frame := binary.LittleEndian.AppendUint64(nil, id)
+	frame := make([]byte, 0, requestIDBytes+sharesSize(in))
+	frame = binary.LittleEndian.AppendUint64(frame, id)
 	return appendShares(frame, in)
 }
 
@@ -108,25 +118,39 @@ var ErrPeerDesync = errors.New("mpc: peer link desynchronized")
 
 // taggedConn scopes peer-exchange frames to one request: writes prefix
 // the id, reads discard frames whose id differs (orphans of rounds that
-// died on the other party before it consumed them).
+// died on the other party before it consumed them). It is reusable across
+// requests (setID) and keeps its own receive scratch, so a serving loop's
+// steady state neither copies frames for tagging (vectored writes put the
+// id prefix on the wire directly) nor allocates to receive them. One
+// writer and one reader at a time, as with the underlying link.
 type taggedConn struct {
-	c  comm.Framer
-	id uint64
+	c     comm.Framer
+	id    uint64
+	idbuf [requestIDBytes]byte
+	rbuf  []byte
 }
 
+// setID scopes subsequent frames to a new request.
+func (t *taggedConn) setID(id uint64) { t.id = id }
+
 func (t *taggedConn) WriteFrame(b []byte) error {
+	binary.LittleEndian.PutUint64(t.idbuf[:], t.id)
+	if vf, ok := t.c.(comm.VecFramer); ok {
+		return vf.WriteFrameVec(t.idbuf[:], b)
+	}
 	f := make([]byte, requestIDBytes+len(b))
-	binary.LittleEndian.PutUint64(f, t.id)
+	copy(f, t.idbuf[:])
 	copy(f[requestIDBytes:], b)
 	return t.c.WriteFrame(f)
 }
 
 func (t *taggedConn) ReadFrame() ([]byte, error) {
 	for i := 0; i < maxStaleFrames; i++ {
-		f, err := t.c.ReadFrame()
+		f, err := readFrameInto(t.c, t.rbuf)
 		if err != nil {
 			return nil, err
 		}
+		t.rbuf = f // keep the grown buffer, id prefix included
 		if len(f) < requestIDBytes {
 			return nil, fmt.Errorf("mpc: peer frame of %d bytes has no request id", len(f))
 		}
@@ -136,6 +160,13 @@ func (t *taggedConn) ReadFrame() ([]byte, error) {
 		// Stale frame from an aborted round: drop and keep reading.
 	}
 	return nil, ErrPeerDesync
+}
+
+// ReadFrameInto implements comm.FramerInto. The tagged receive path
+// already reuses t's own scratch (the id prefix must stay out of the
+// caller's view), so buf is ignored.
+func (t *taggedConn) ReadFrameInto(buf []byte) ([]byte, error) {
+	return t.ReadFrame()
 }
 
 // ServeTriplet handles one multiplication request: read the client's
@@ -151,20 +182,65 @@ func ServeTriplet(party int, client, peer comm.Framer) error {
 	if err != nil {
 		return err
 	}
-	ci, err := RemoteParty(party, &taggedConn{c: peer, id: id}, in)
+	tc := &taggedConn{c: peer}
+	tc.setID(id)
+	ci, err := RemoteParty(party, tc, in)
 	if err != nil {
 		return fmt.Errorf("mpc: request %016x: %w", id, err)
 	}
-	return client.WriteFrame(tensor.EncodeMatrix(nil, ci))
+	return client.WriteFrame(tensor.EncodeMatrix(make([]byte, 0, tensor.EncodedSize(ci)), ci))
+}
+
+// isSessionEnd reports an error that means "client done", not a failure.
+func isSessionEnd(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed)
 }
 
 // ServeLoop runs ServeTriplet until the client disconnects.
 func ServeLoop(party int, client, peer comm.Framer) error {
 	for {
 		if err := ServeTriplet(party, client, peer); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+			if isSessionEnd(err) {
 				return nil // client done
 			}
+			return err
+		}
+	}
+}
+
+// ServeLoopWire is ServeLoop on the wire double pipeline: the peer
+// exchange runs banded and full-duplex (RemotePartyPipelined's protocol),
+// and the loop's steady state reuses one wireMul, one tagged peer wrapper,
+// and its request/reply frame buffers, with result matrices drawn from and
+// returned to the configured pool. Both parties must run the same path
+// with equal cfg.ChunkRows — the wire framing is not compatible with
+// ServeLoop's.
+func ServeLoopWire(party int, client, peer comm.Framer, cfg WireConfig) error {
+	w := newWireMul(party, cfg)
+	defer w.close()
+	tc := &taggedConn{c: peer}
+	var reqBuf, outBuf []byte
+	for {
+		frame, err := readFrameInto(client, reqBuf)
+		if err != nil {
+			if isSessionEnd(err) {
+				return nil // client done
+			}
+			return err
+		}
+		reqBuf = frame
+		id, in, err := DecodeRequest(frame)
+		if err != nil {
+			return err
+		}
+		tc.setID(id)
+		ci, err := w.mul(tc, in.A, in.B, in.T, nil, nil)
+		if err != nil {
+			return fmt.Errorf("mpc: request %016x: %w", id, err)
+		}
+		outBuf = tensor.EncodeMatrix(outBuf[:0], ci)
+		w.put(ci)
+		if err := client.WriteFrame(outBuf); err != nil {
 			return err
 		}
 	}
@@ -233,6 +309,10 @@ type ServeConfig struct {
 	// the bound on how long a party blocks when the complementary request
 	// never arrives at its peer. 0 disables (and restores the wedge).
 	PeerTimeout time.Duration
+	// Wire, when non-nil, serves sessions on the wire double pipeline
+	// (ServeLoopWire) instead of the serial per-request protocol. Both
+	// parties must configure it identically — the peer framings differ.
+	Wire *WireConfig
 	// Logf receives serving events; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -282,7 +362,12 @@ func ServeClients(ctx context.Context, party int, ln net.Listener, peer *comm.Co
 			client.SetTimeouts(cfg.ClientTimeout, cfg.ClientTimeout)
 		}
 		cfg.logf("party %d: client session start", party)
-		if err := ServeLoop(party, client, peer); err != nil {
+		if cfg.Wire != nil {
+			err = ServeLoopWire(party, client, peer, *cfg.Wire)
+		} else {
+			err = ServeLoop(party, client, peer)
+		}
+		if err != nil {
 			cfg.logf("party %d: session error: %v", party, err)
 		} else {
 			cfg.logf("party %d: client session done", party)

@@ -1,0 +1,281 @@
+package mpc
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"sync"
+	"testing"
+
+	"parsecureml/internal/comm"
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+// Wall-clock benchmarks for the wire double pipeline. The latency pair
+// runs on a bandwidth-throttled link (FaultConn.WriteBytesPerSec), the
+// regime Fig. 5 targets: both paths pay the same total serialization
+// delay, so any gap is genuine transfer/compute overlap, not an artifact
+// of fewer sleep calls. The serving pair measures allocations per
+// steady-state inference request through a buffer-reusing client, so the
+// reported allocs/op isolate the two server paths.
+//
+// TestEmitWireBenchBaseline records both pairs to a JSON baseline when
+// BENCH_WIRE_OUT is set (CI writes BENCH_wire.json with it).
+
+// newThrottledPipe wires two framed conns through write-rate-limited
+// FaultConns, modelling a bandwidth-bound fabric.
+func newThrottledPipe(bytesPerSec int64) (c0, c1 *comm.Conn, closeAll func()) {
+	r0, r1 := net.Pipe()
+	f0, f1 := comm.NewFaultConn(r0), comm.NewFaultConn(r1)
+	f0.WriteBytesPerSec = bytesPerSec
+	f1.WriteBytesPerSec = bytesPerSec
+	c0, c1 = comm.Wrap(f0), comm.Wrap(f1)
+	return c0, c1, func() { c0.Close(); c1.Close() }
+}
+
+// benchWireShapes is the latency benchmark's fixed geometry: large enough
+// that both transfer (~256 KiB per E/F matrix) and compute (a 256³ GEMM)
+// are material, so overlap has something to hide.
+const benchMulDim = 256
+
+// benchThrottleBps throttles each direction to 16 MiB/s: ~16 ms per E/F
+// matrix, a material fraction of the ~60 ms GEMM, so the double
+// pipeline has transfer time worth hiding under compute.
+const benchThrottleBps = 16 << 20
+
+func benchRemoteMulThrottled(b *testing.B, pipelined bool) {
+	p := rng.NewPool(90)
+	a := p.NewUniform(benchMulDim, benchMulDim, -1, 1)
+	bm := p.NewUniform(benchMulDim, benchMulDim, -1, 1)
+	client := newRemoteClient()
+	in0, in1 := RemoteClientSplit(a, bm, client)
+	c0, c1, closeAll := newThrottledPipe(benchThrottleBps)
+	defer closeAll()
+	cfg := WireConfig{ChunkRows: 32}
+	w0, w1 := newWireMul(0, cfg), newWireMul(1, cfg)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		var e0, e1 error
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if pipelined {
+				r, err := w0.mul(c0, in0.A, in0.B, in0.T, nil, nil)
+				if err == nil {
+					w0.put(r)
+				}
+				e0 = err
+			} else {
+				_, e0 = RemoteParty(0, c0, in0)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if pipelined {
+				r, err := w1.mul(c1, in1.A, in1.B, in1.T, nil, nil)
+				if err == nil {
+					w1.put(r)
+				}
+				e1 = err
+			} else {
+				_, e1 = RemoteParty(1, c1, in1)
+			}
+		}()
+		wg.Wait()
+		if e0 != nil || e1 != nil {
+			b.Fatalf("parties failed: %v / %v", e0, e1)
+		}
+	}
+}
+
+func BenchmarkRemoteMulThrottled(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchRemoteMulThrottled(b, false) })
+	b.Run("pipelined", func(b *testing.B) { benchRemoteMulThrottled(b, true) })
+}
+
+// benchInferClient is a steady-state inference client that reuses every
+// buffer, so a serving benchmark's allocs/op measure the servers, not the
+// test harness.
+type benchInferClient struct {
+	s0, s1       *comm.Conn
+	b0, b1       []byte
+	f0, f1       []byte
+	p0, p1, mrgd *tensor.Matrix
+}
+
+func newBenchInferClient(s0, s1 *comm.Conn, batch, out int) *benchInferClient {
+	return &benchInferClient{
+		s0: s0, s1: s1,
+		p0: tensor.New(batch, out), p1: tensor.New(batch, out), mrgd: tensor.New(batch, out),
+	}
+}
+
+func (c *benchInferClient) request(x0, x1 *tensor.Matrix) (*tensor.Matrix, error) {
+	c.b0 = tensor.EncodeMatrix(c.b0[:0], x0)
+	if err := c.s0.WriteFrame(c.b0); err != nil {
+		return nil, err
+	}
+	c.b1 = tensor.EncodeMatrix(c.b1[:0], x1)
+	if err := c.s1.WriteFrame(c.b1); err != nil {
+		return nil, err
+	}
+	f0, err := c.s0.ReadFrameInto(c.f0)
+	if err != nil {
+		return nil, err
+	}
+	c.f0 = f0
+	f1, err := c.s1.ReadFrameInto(c.f1)
+	if err != nil {
+		return nil, err
+	}
+	c.f1 = f1
+	if _, err := tensor.DecodeMatrixInto(c.p0, f0); err != nil {
+		return nil, err
+	}
+	if _, err := tensor.DecodeMatrixInto(c.p1, f1); err != nil {
+		return nil, err
+	}
+	tensor.Add(c.mrgd, c.p0, c.p1)
+	return c.mrgd, nil
+}
+
+func benchInferRequest(b *testing.B, wire bool) {
+	const batch, in, hidden, out = 16, 64, 64, 16
+	p := rng.NewPool(91)
+	w1m := p.NewUniform(in, hidden, -0.3, 0.3)
+	b1m := p.NewUniform(1, hidden, -0.1, 0.1)
+	w2m := p.NewUniform(hidden, out, -0.3, 0.3)
+	b2m := p.NewUniform(1, out, -0.1, 0.1)
+	client := newRemoteClient()
+	s0, s1 := BuildInferSession(client, batch,
+		[]*tensor.Matrix{w1m, w2m}, []*tensor.Matrix{b1m, b2m},
+		[]ActivationKind{ActReLU, ActPiecewise}, []bool{true, true})
+	x := p.NewUniform(batch, in, -1, 1)
+	x0, x1, _ := client.Split(x)
+
+	client0a, client0b := comm.Pipe()
+	client1a, client1b := comm.Pipe()
+	peerA, peerB := comm.Pipe()
+	cfg := WireConfig{ChunkRows: 8}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if wire {
+			ServeInferenceWire(0, client0b, peerA, rng.NewPool(77), cfg)
+		} else {
+			ServeInference(0, client0b, peerA, rng.NewPool(77))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if wire {
+			ServeInferenceWire(1, client1b, peerB, rng.NewPool(0), cfg)
+		} else {
+			ServeInference(1, client1b, peerB, rng.NewPool(0))
+		}
+	}()
+	if err := client0a.WriteFrame(EncodeInferSession(s0)); err != nil {
+		b.Fatal(err)
+	}
+	if err := client1a.WriteFrame(EncodeInferSession(s1)); err != nil {
+		b.Fatal(err)
+	}
+	bc := newBenchInferClient(client0a, client1a, batch, out)
+	// Warm up: session setup on the wire path, pools on both.
+	if _, err := bc.request(x0, x1); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bc.request(x0, x1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	client0a.Close()
+	client1a.Close()
+	wg.Wait()
+	peerA.Close()
+	peerB.Close()
+}
+
+func BenchmarkInferRequest(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchInferRequest(b, false) })
+	b.Run("wire", func(b *testing.B) { benchInferRequest(b, true) })
+}
+
+// TestEmitWireBenchBaseline runs the two benchmark pairs via
+// testing.Benchmark and writes the comparison to the JSON file named by
+// BENCH_WIRE_OUT. Skipped when the variable is unset, so plain `go test`
+// stays fast; CI sets it to produce BENCH_wire.json.
+func TestEmitWireBenchBaseline(t *testing.T) {
+	out := os.Getenv("BENCH_WIRE_OUT")
+	if out == "" {
+		t.Skip("BENCH_WIRE_OUT not set")
+	}
+	type result struct {
+		NsPerOp     int64   `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		N           int     `json:"n"`
+		MsPerOp     float64 `json:"ms_per_op"`
+	}
+	record := func(r testing.BenchmarkResult) result {
+		return result{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+			MsPerOp:     float64(r.NsPerOp()) / 1e6,
+		}
+	}
+	serialMul := record(testing.Benchmark(func(b *testing.B) { benchRemoteMulThrottled(b, false) }))
+	pipedMul := record(testing.Benchmark(func(b *testing.B) { benchRemoteMulThrottled(b, true) }))
+	serialInf := record(testing.Benchmark(func(b *testing.B) { benchInferRequest(b, false) }))
+	wireInf := record(testing.Benchmark(func(b *testing.B) { benchInferRequest(b, true) }))
+
+	baseline := map[string]any{
+		"description": "wire double pipeline baseline: throttled-link remote mul (ns/op) and steady-state inference request (allocs/op)",
+		"remote_mul_throttled": map[string]any{
+			"dim":             benchMulDim,
+			"chunk_rows":      32,
+			"throttle_bps":    int64(benchThrottleBps),
+			"serial":          serialMul,
+			"pipelined":       pipedMul,
+			"speedup_serial_over_pipelined": float64(serialMul.NsPerOp) / float64(pipedMul.NsPerOp),
+		},
+		"infer_request": map[string]any{
+			"layers":     2,
+			"chunk_rows": 8,
+			"serial":     serialInf,
+			"wire":       wireInf,
+			"alloc_reduction_factor": float64(serialInf.AllocsPerOp) / float64(max(wireInf.AllocsPerOp, 1)),
+		},
+	}
+	// The hard claims behind the optimization, enforced, not just logged:
+	// overlap must beat serial on a bandwidth-bound link, and the serving
+	// hot path must allocate an order of magnitude less.
+	if pipedMul.NsPerOp >= serialMul.NsPerOp {
+		t.Errorf("pipelined mul (%d ns/op) not faster than serial (%d ns/op) on throttled link",
+			pipedMul.NsPerOp, serialMul.NsPerOp)
+	}
+	if wireInf.AllocsPerOp*10 > serialInf.AllocsPerOp {
+		t.Errorf("wire infer request allocs %d not 10x below serial %d",
+			wireInf.AllocsPerOp, serialInf.AllocsPerOp)
+	}
+	enc, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

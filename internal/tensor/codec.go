@@ -30,7 +30,13 @@ const (
 // EncodedSizeDense returns the wire size of a dense rows×cols matrix.
 func EncodedSizeDense(rows, cols int) int { return 1 + 8 + 4*rows*cols }
 
+// EncodedSize returns the wire size of m, so frame buffers can be
+// preallocated at exact capacity instead of append-grown element by
+// element (which reallocates a multi-MB frame a dozen times over).
+func EncodedSize(m *Matrix) int { return EncodedSizeDense(m.Rows, m.Cols) }
+
 // EncodeMatrix appends the wire form of m to buf and returns the result.
+// Preallocate with EncodedSize to avoid growth copies on large matrices.
 func EncodeMatrix(buf []byte, m *Matrix) []byte {
 	if m.shapeOnly() {
 		panic("tensor: EncodeMatrix on a shape-only (dry-run) matrix")
@@ -38,10 +44,50 @@ func EncodeMatrix(buf []byte, m *Matrix) []byte {
 	buf = append(buf, tagDense)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Rows))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Cols))
-	for _, v := range m.Data {
-		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	// Bulk-extend once, then write in place: per-element append pays a
+	// capacity check (and amortized copies) per value.
+	need := 4 * len(m.Data)
+	off := len(buf)
+	if cap(buf)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:off+need]
+	out := buf[off:]
+	for i, v := range m.Data {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
 	}
 	return buf
+}
+
+// DecodeMatrixInto decodes a dense matrix of dst's exact shape from buf
+// into dst's existing storage, returning the bytes consumed. This is the
+// steady-state receive path: a serving loop that knows the session
+// geometry reuses one destination per stream instead of allocating a
+// matrix per frame. A shape mismatch is an error (a hostile or desynced
+// frame), not a panic.
+func DecodeMatrixInto(dst *Matrix, buf []byte) (int, error) {
+	if len(buf) < 9 || buf[0] != tagDense {
+		return 0, ErrCodecShort
+	}
+	rows := int(binary.LittleEndian.Uint32(buf[1:]))
+	cols := int(binary.LittleEndian.Uint32(buf[5:]))
+	if rows != dst.Rows || cols != dst.Cols {
+		return 0, fmt.Errorf("tensor: codec: frame is %dx%d, destination %dx%d", rows, cols, dst.Rows, dst.Cols)
+	}
+	need := EncodedSizeDense(rows, cols)
+	if len(buf) < need {
+		return 0, ErrCodecShort
+	}
+	if dst.shapeOnly() {
+		return need, nil
+	}
+	payload := buf[9:need]
+	for i := range dst.Data {
+		dst.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return need, nil
 }
 
 // EncodeCSR appends the wire form of c to buf and returns the result.

@@ -6,11 +6,25 @@ package tensor
 // parallel over cache-line-aligned chunks (paper §5.1) and write into a
 // caller-supplied destination so buffers can be reused across iterations.
 
+// elementwiseSerialFloats is the vector length below which the
+// element-wise kernels run inline: for short operands the goroutine
+// fan-out costs more than the loop itself, and the wire serving hot path
+// (several small kernels per row band per request) must not allocate a
+// closure per call. The kernels are position-independent, so the cutoff
+// never changes results.
+const elementwiseSerialFloats = 4096
+
 // Add computes dst = a + b element-wise. dst may alias a or b.
 func Add(dst, a, b *Matrix) {
 	a.mustSameShape(b, "Add")
 	dst.mustSameShape(a, "Add")
 	if !ComputeEnabled() {
+		return
+	}
+	if len(dst.Data) <= elementwiseSerialFloats {
+		for i := range dst.Data {
+			dst.Data[i] = a.Data[i] + b.Data[i]
+		}
 		return
 	}
 	parallelFor(len(dst.Data), CacheLineFloats, func(lo, hi int) {
@@ -26,6 +40,12 @@ func Sub(dst, a, b *Matrix) {
 	a.mustSameShape(b, "Sub")
 	dst.mustSameShape(a, "Sub")
 	if !ComputeEnabled() {
+		return
+	}
+	if len(dst.Data) <= elementwiseSerialFloats {
+		for i := range dst.Data {
+			dst.Data[i] = a.Data[i] - b.Data[i]
+		}
 		return
 	}
 	parallelFor(len(dst.Data), CacheLineFloats, func(lo, hi int) {
@@ -71,6 +91,12 @@ func AXPY(dst *Matrix, alpha float32, a *Matrix) {
 	if !ComputeEnabled() {
 		return
 	}
+	if len(dst.Data) <= elementwiseSerialFloats {
+		for i := range dst.Data {
+			dst.Data[i] += alpha * a.Data[i]
+		}
+		return
+	}
 	parallelFor(len(dst.Data), CacheLineFloats, func(lo, hi int) {
 		da, dd := a.Data[lo:hi], dst.Data[lo:hi]
 		for i := range dd {
@@ -100,6 +126,12 @@ func Hadamard(dst, a, b *Matrix) {
 func Apply(dst, a *Matrix, f func(float32) float32) {
 	dst.mustSameShape(a, "Apply")
 	if !ComputeEnabled() {
+		return
+	}
+	if len(dst.Data) <= elementwiseSerialFloats {
+		for i := range dst.Data {
+			dst.Data[i] = f(a.Data[i])
+		}
 		return
 	}
 	parallelFor(len(dst.Data), CacheLineFloats, func(lo, hi int) {

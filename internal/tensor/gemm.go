@@ -1,6 +1,26 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
+
+// accPool recycles the float64 accumulator rows the GEMM kernels carry.
+// The wire serving path calls Gemm per row band per request; allocating a
+// fresh accumulator per worker per call is most of the kernels' steady-
+// state garbage.
+var accPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getAcc(n int) *[]float64 {
+	p := accPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putAcc(p *[]float64) { accPool.Put(p) }
 
 // GEMM kernels. Mul is the workhorse behind every triplet multiplication:
 // a cache-blocked i-k-j loop parallelized over row bands. MulNaive is the
@@ -32,50 +52,68 @@ func MulTo(a, b *Matrix) *Matrix {
 // The i-k-j loop order streams rows of b while a row of dst stays hot in
 // cache; parallelism is across bands of dst rows, so no two goroutines
 // write the same row.
+// gemmSerialWork is the m·k·n multiply count below which Gemm runs
+// single-threaded: goroutine fan-out costs more than the arithmetic for
+// band-sized operands, and the wire serving hot path (many small per-band
+// GEMMs per request) must not allocate a closure per call. Each dst row
+// is accumulated independently, so the cutoff never changes results.
+const gemmSerialWork = 1 << 16
+
 func Gemm(dst, a, b *Matrix, alpha, beta float32) {
 	mustMulShapes(dst, a, b)
 	if !ComputeEnabled() {
 		return
 	}
-	k, cols := a.Cols, b.Cols
+	if a.Rows*a.Cols*b.Cols <= gemmSerialWork {
+		gemmRows(dst, a, b, alpha, beta, 0, a.Rows)
+		return
+	}
 	parallelFor(a.Rows, 1, func(lo, hi int) {
-		// Accumulate each destination row in float64: secret-shared
-		// operands carry masks that inflate magnitudes, and FP32
-		// accumulation error over long inner dimensions would rival the
-		// gradient signal during secure training.
-		acc := make([]float64, cols)
-		for i := lo; i < hi; i++ {
-			drow := dst.Row(i)
-			for j := range acc {
-				acc[j] = 0
+		gemmRows(dst, a, b, alpha, beta, lo, hi)
+	})
+}
+
+// gemmRows runs the blocked i-k-j kernel over dst rows [lo, hi).
+func gemmRows(dst, a, b *Matrix, alpha, beta float32, lo, hi int) {
+	k, cols := a.Cols, b.Cols
+	// Accumulate each destination row in float64: secret-shared
+	// operands carry masks that inflate magnitudes, and FP32
+	// accumulation error over long inner dimensions would rival the
+	// gradient signal during secure training.
+	accp := getAcc(cols)
+	defer putAcc(accp)
+	acc := *accp
+	for i := lo; i < hi; i++ {
+		drow := dst.Row(i)
+		for j := range acc {
+			acc[j] = 0
+		}
+		arow := a.Row(i)
+		for p := 0; p < k; p++ {
+			av := float64(alpha * arow[p])
+			if av == 0 {
+				continue
 			}
-			arow := a.Row(i)
-			for p := 0; p < k; p++ {
-				av := float64(alpha * arow[p])
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*cols : (p+1)*cols]
-				for j, bv := range brow {
-					acc[j] += av * float64(bv)
-				}
-			}
-			switch beta {
-			case 0:
-				for j := range drow {
-					drow[j] = float32(acc[j])
-				}
-			case 1:
-				for j := range drow {
-					drow[j] += float32(acc[j])
-				}
-			default:
-				for j := range drow {
-					drow[j] = beta*drow[j] + float32(acc[j])
-				}
+			brow := b.Data[p*cols : (p+1)*cols]
+			for j, bv := range brow {
+				acc[j] += av * float64(bv)
 			}
 		}
-	})
+		switch beta {
+		case 0:
+			for j := range drow {
+				drow[j] = float32(acc[j])
+			}
+		case 1:
+			for j := range drow {
+				drow[j] += float32(acc[j])
+			}
+		default:
+			for j := range drow {
+				drow[j] = beta*drow[j] + float32(acc[j])
+			}
+		}
+	}
 }
 
 // MulNaive is the textbook triple loop, single-threaded, accumulating in
@@ -98,9 +136,17 @@ func MulNaive(a, b *Matrix) *Matrix {
 	return dst
 }
 
-// MulABT computes dst = a × bᵀ without materializing the transpose; rows of
-// a and rows of b are combined by inner products (cache-friendly for the
-// backward pass dX = dY × Wᵀ).
+// abtBlock is the panel height of MulABT: rows of a combined against one
+// streamed row of b before moving on, so the b row is loaded from memory
+// once per panel instead of once per output row.
+const abtBlock = 8
+
+// MulABT computes dst = a × bᵀ without materializing the transpose; rows
+// of a and rows of b are combined by float64 inner products. Rows of a are
+// processed in cache-blocked panels of abtBlock (like Gemm's banding): the
+// unblocked loop streamed the whole of b through cache once per output
+// row, which made the backward pass dX = dY × Wᵀ memory-bound on
+// realistically sized weight matrices.
 func MulABT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MulABT inner dimension mismatch %dx%d * (%dx%d)T", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -112,16 +158,18 @@ func MulABT(dst, a, b *Matrix) {
 		return
 	}
 	parallelFor(a.Rows, 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
+		for ib := lo; ib < hi; ib += abtBlock {
+			imax := min(ib+abtBlock, hi)
 			for j := 0; j < b.Rows; j++ {
 				brow := b.Row(j)
-				var acc float64
-				for p, av := range arow {
-					acc += float64(av) * float64(brow[p])
+				for i := ib; i < imax; i++ {
+					arow := a.Row(i)
+					var acc float64
+					for p, bv := range brow {
+						acc += float64(arow[p]) * float64(bv)
+					}
+					dst.Data[i*dst.Cols+j] = float32(acc)
 				}
-				drow[j] = float32(acc)
 			}
 		}
 	})
@@ -141,7 +189,9 @@ func MulATB(dst, a, b *Matrix) {
 		return
 	}
 	parallelFor(a.Cols, 1, func(lo, hi int) {
-		acc := make([]float64, b.Cols)
+		accp := getAcc(b.Cols)
+		defer putAcc(accp)
+		acc := *accp
 		for i := lo; i < hi; i++ {
 			for j := range acc {
 				acc[j] = 0

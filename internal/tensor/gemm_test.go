@@ -88,14 +88,56 @@ func TestMulDistributesOverAddition(t *testing.T) {
 
 func TestMulABT(t *testing.T) {
 	r := rand.New(rand.NewSource(14))
-	a := randomMatrix(r, 7, 11)
-	b := randomMatrix(r, 5, 11)
-	got := New(7, 5)
-	MulABT(got, a, b)
-	want := MulNaive(a, b.Transpose())
-	if !got.ApproxEqual(want, 1e-3) {
-		t.Fatalf("MulABT max diff %v", got.MaxAbsDiff(want))
+	// Sizes straddle abtBlock boundaries: below, exact multiple, above,
+	// and a parallel-band case.
+	cases := [][3]int{{7, 5, 11}, {8, 8, 16}, {17, 9, 33}, {70, 41, 23}}
+	for _, c := range cases {
+		a := randomMatrix(r, c[0], c[2])
+		b := randomMatrix(r, c[1], c[2])
+		got := New(c[0], c[1])
+		MulABT(got, a, b)
+		want := MulNaive(a, b.Transpose())
+		if !got.ApproxEqual(want, 1e-3) {
+			t.Fatalf("MulABT %v max diff %v", c, got.MaxAbsDiff(want))
+		}
 	}
+}
+
+// mulABTUnblocked is the pre-optimization loop (one full sweep of b per
+// output row), kept as the benchmark baseline for the blocked kernel.
+func mulABTUnblocked(dst, a, b *Matrix) {
+	parallelFor(a.Rows, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var acc float64
+				for p, av := range arow {
+					acc += float64(av) * float64(brow[p])
+				}
+				drow[j] = float32(acc)
+			}
+		}
+	})
+}
+
+// Backward-pass shape dX = dY × Wᵀ: batch×out times (in×out)T.
+func benchmarkMulABT(b *testing.B, fn func(dst, x, y *Matrix), batch, in, out int) {
+	r := rand.New(rand.NewSource(2))
+	dy := randomMatrix(r, batch, out)
+	w := randomMatrix(r, in, out)
+	dst := New(batch, in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(dst, dy, w)
+	}
+	b.ReportMetric(GemmFLOPs(batch, out, in)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkMulABTBackward(b *testing.B) {
+	b.Run("blocked", func(b *testing.B) { benchmarkMulABT(b, MulABT, 128, 1024, 512) })
+	b.Run("unblocked", func(b *testing.B) { benchmarkMulABT(b, mulABTUnblocked, 128, 1024, 512) })
 }
 
 func TestMulATB(t *testing.T) {

@@ -249,6 +249,23 @@ func (m *Matrix) SliceRows(lo, hi int) *Matrix {
 	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
 }
 
+// SliceRowsInto points view at rows [lo, hi) of m, sharing storage, and
+// returns view. It is SliceRows without the header allocation: hot loops
+// that re-slice per row band (the wire pipeline) keep one persistent view
+// header and retarget it each band.
+func (m *Matrix) SliceRowsInto(view *Matrix, lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows[%d:%d] out of range for %d rows", lo, hi, m.Rows))
+	}
+	view.Rows, view.Cols = hi-lo, m.Cols
+	if m.shapeOnly() {
+		view.Data = nil
+		return view
+	}
+	view.Data = m.Data[lo*m.Cols : hi*m.Cols]
+	return view
+}
+
 // ConcatRows stacks a and b vertically into a new matrix ([A ; B] in the
 // paper's Eq. 8 notation). Column counts must match.
 func ConcatRows(a, b *Matrix) *Matrix {
