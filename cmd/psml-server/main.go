@@ -30,6 +30,7 @@ import (
 
 	"parsecureml/internal/comm"
 	"parsecureml/internal/mpc"
+	"parsecureml/internal/obs"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 	dialBackoff := flag.Duration("peer-dial-backoff", 100*time.Millisecond, "initial backoff between peer dial attempts (doubles, capped at 2s)")
 	wirePipeline := flag.Bool("wire-pipeline", false, "serve with the banded double pipeline on the peer link (both servers must agree, including -wire-chunk-rows)")
 	wireChunkRows := flag.Int("wire-chunk-rows", 0, "row-band height of the pipelined E exchange; 0 streams whole matrices (requires -wire-pipeline)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	if *party != 0 && *party != 1 {
@@ -57,6 +59,18 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	logger := obs.NewLogger(os.Stderr, obs.Default)
+
+	// Optional observability listener: Prometheus text metrics, a liveness
+	// probe, and pprof. Off by default — it exposes timing side channels.
+	if *debugAddr != "" {
+		bound, _, err := obs.ServeDebug(ctx, *debugAddr, obs.Default, nil)
+		if err != nil {
+			log.Fatalf("debug listen: %v", err)
+		}
+		log.Printf("party %d: debug endpoints on http://%s (/metrics, /healthz, /debug/pprof)", *party, bound)
+	}
 
 	// Establish the inter-server link first (the paper's server1<->server2
 	// InfiniBand edge). The dialing side retries: starting the dialer
@@ -91,8 +105,8 @@ func main() {
 	}
 	defer peer.Close()
 
-	// Bound the handshake so a half-open peer can't hang startup.
-	peer.SetTimeouts(30*time.Second, 30*time.Second)
+	// The hello exchange bounds itself (and restores the conn's deadlines
+	// after), so a half-open peer can't hang startup.
 	if err := mpc.WriteHello(peer, *party); err != nil {
 		log.Fatalf("peer hello: %v", err)
 	}
@@ -112,7 +126,7 @@ func main() {
 	cfg := mpc.ServeConfig{
 		ClientTimeout: *clientTimeout,
 		PeerTimeout:   *peerTimeout,
-		Logf:          log.Printf,
+		Log:           logger,
 	}
 	if *wirePipeline {
 		cfg.Wire = &mpc.WireConfig{ChunkRows: *wireChunkRows}

@@ -24,6 +24,7 @@ import (
 
 	"parsecureml/internal/comm"
 	"parsecureml/internal/mpc"
+	"parsecureml/internal/obs"
 )
 
 func main() {
@@ -49,7 +50,7 @@ func main() {
 	cfg := mpc.ServeConfig{
 		ClientTimeout: 5 * time.Second,
 		PeerTimeout:   500 * time.Millisecond,
-		Logf:          log.Printf,
+		Log:           obs.LogfLogger(log.Printf),
 	}
 
 	var wg sync.WaitGroup

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 )
 
@@ -53,7 +54,25 @@ type FaultConn struct {
 	// many bytes have been delivered. -1 disables.
 	FailReadAfter int64
 
-	written, read int64
+	// Byte counters are atomic so a concurrent observer (a test
+	// assertion, a metrics scrape) can snapshot them while traffic moves.
+	written, read atomic.Int64
+	injected      atomic.Int64
+}
+
+// FaultStats is a snapshot of a FaultConn's byte accounting.
+type FaultStats struct {
+	BytesWritten, BytesRead int64
+	Injected                int64 // faults fired by the byte budgets
+}
+
+// Stats returns the connection's current byte counters.
+func (f *FaultConn) Stats() FaultStats {
+	return FaultStats{
+		BytesWritten: f.written.Load(),
+		BytesRead:    f.read.Load(),
+		Injected:     f.injected.Load(),
+	}
 }
 
 // ErrInjected marks failures produced by a FaultConn's byte budgets.
@@ -78,23 +97,25 @@ func (f *FaultConn) Write(p []byte) (int, error) {
 		if f.WriteChunk > 0 && n > f.WriteChunk {
 			n = f.WriteChunk
 		}
+		written := f.written.Load()
 		if f.FailWriteAfter >= 0 {
-			remain := f.FailWriteAfter - f.written
+			remain := f.FailWriteAfter - written
 			if remain <= 0 {
-				return total, fmt.Errorf("comm: write stopped after %d bytes: %w", f.written, ErrInjected)
+				f.injected.Add(1)
+				return total, fmt.Errorf("comm: write stopped after %d bytes: %w", written, ErrInjected)
 			}
 			if int64(n) > remain {
 				n = int(remain)
 			}
 		}
 		chunk := p[total : total+n]
-		if off := f.CorruptWriteAt; off >= f.written && off < f.written+int64(n) {
+		if off := f.CorruptWriteAt; off >= written && off < written+int64(n) {
 			c := append([]byte(nil), chunk...)
-			c[off-f.written] ^= 0xFF
+			c[off-written] ^= 0xFF
 			chunk = c
 		}
 		m, err := f.Inner.Write(chunk)
-		f.written += int64(m)
+		f.written.Add(int64(m))
 		total += m
 		if err != nil {
 			return total, err
@@ -109,16 +130,17 @@ func (f *FaultConn) Read(p []byte) (int, error) {
 		time.Sleep(f.ReadDelay)
 	}
 	if f.FailReadAfter >= 0 {
-		remain := f.FailReadAfter - f.read
+		remain := f.FailReadAfter - f.read.Load()
 		if remain <= 0 {
-			return 0, fmt.Errorf("comm: read stopped after %d bytes: %w", f.read, ErrInjected)
+			f.injected.Add(1)
+			return 0, fmt.Errorf("comm: read stopped after %d bytes: %w", f.read.Load(), ErrInjected)
 		}
 		if int64(len(p)) > remain {
 			p = p[:remain]
 		}
 	}
 	n, err := f.Inner.Read(p)
-	f.read += int64(n)
+	f.read.Add(int64(n))
 	return n, err
 }
 

@@ -57,6 +57,29 @@ type FramerInto interface {
 	ReadFrameInto(buf []byte) ([]byte, error)
 }
 
+// Package-wide traffic totals across every *Conn, mirrored by the
+// per-Conn counters. The observability layer exposes these through
+// read-only collectors (internal/mpc registers them on obs.Default), so
+// a metrics scrape needs no handle on individual connections.
+var (
+	totalBytesRead, totalBytesWritten   atomic.Int64
+	totalFramesRead, totalFramesWritten atomic.Int64
+)
+
+// WireTotals returns process-wide framed-transport accounting: bytes and
+// whole frames moved in each direction (length prefixes included).
+func WireTotals() (bytesIn, bytesOut, framesIn, framesOut int64) {
+	return totalBytesRead.Load(), totalBytesWritten.Load(),
+		totalFramesRead.Load(), totalFramesWritten.Load()
+}
+
+// ConnStats is one connection's traffic accounting (length prefixes
+// included in the byte counts).
+type ConnStats struct {
+	BytesIn, BytesOut   int64
+	FramesIn, FramesOut int64
+}
+
 // Conn is a framed connection with optional per-frame deadlines.
 type Conn struct {
 	c     net.Conn
@@ -78,6 +101,10 @@ type Conn struct {
 	// Per-frame timeouts (nanoseconds); 0 means no deadline. Stored
 	// atomically so a serving loop can keep reading while timeouts change.
 	readTO, writeTO atomic.Int64
+	// Traffic counters (length prefixes included), updated on every
+	// successful frame; see Stats and the package WireTotals.
+	bytesIn, bytesOut   atomic.Int64
+	framesIn, framesOut atomic.Int64
 }
 
 func newConn(c net.Conn) *Conn { return &Conn{c: c, limit: MaxFrameBytes} }
@@ -99,6 +126,32 @@ func (fc *Conn) SetTimeouts(read, write time.Duration) {
 	if write <= 0 {
 		fc.c.SetWriteDeadline(time.Time{})
 	}
+}
+
+// Timeouts returns the per-frame deadlines last set with SetTimeouts
+// (zero meaning disabled), so a caller can scope a temporary deadline —
+// the handshake path does — and restore the previous configuration.
+func (fc *Conn) Timeouts() (read, write time.Duration) {
+	return time.Duration(fc.readTO.Load()), time.Duration(fc.writeTO.Load())
+}
+
+// Stats returns a snapshot of the connection's traffic counters.
+func (fc *Conn) Stats() ConnStats {
+	return ConnStats{
+		BytesIn:   fc.bytesIn.Load(),
+		BytesOut:  fc.bytesOut.Load(),
+		FramesIn:  fc.framesIn.Load(),
+		FramesOut: fc.framesOut.Load(),
+	}
+}
+
+// countWrite charges one sent frame (n payload bytes) to the connection
+// and package totals.
+func (fc *Conn) countWrite(n int) {
+	fc.bytesOut.Add(int64(n) + 4)
+	fc.framesOut.Add(1)
+	totalBytesWritten.Add(int64(n) + 4)
+	totalFramesWritten.Add(1)
 }
 
 // IsTimeout reports whether err (from WriteFrame/ReadFrame) is a deadline
@@ -132,6 +185,7 @@ func (fc *Conn) WriteFrame(frame []byte) error {
 	if _, err := fc.wnb.WriteTo(fc.c); err != nil {
 		return fmt.Errorf("comm: write frame: %w", err)
 	}
+	fc.countWrite(len(frame))
 	return nil
 }
 
@@ -163,6 +217,7 @@ func (fc *Conn) WriteFrameVec(parts ...[]byte) error {
 	if _, err := fc.wnb.WriteTo(fc.c); err != nil {
 		return fmt.Errorf("comm: write frame: %w", err)
 	}
+	fc.countWrite(total)
 	return nil
 }
 
@@ -202,6 +257,10 @@ func (fc *Conn) readFrame(buf []byte) ([]byte, error) {
 	if _, err := io.ReadFull(fc.c, frame); err != nil {
 		return nil, fmt.Errorf("comm: read frame body: %w", err)
 	}
+	fc.bytesIn.Add(int64(n) + 4)
+	fc.framesIn.Add(1)
+	totalBytesRead.Add(int64(n) + 4)
+	totalFramesRead.Add(1)
 	return frame, nil
 }
 

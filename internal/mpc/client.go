@@ -59,6 +59,7 @@ func (c *Client) Split(secret *tensor.Matrix, deps ...*simtime.Task) (s0, s1 *te
 // generation on the CPU, Z = U×V on the GPU when useGPU is set (otherwise
 // the CPU), and the share splits on the CPU.
 func (c *Client) GenGemmTriplet(m, k, n int, useGPU bool, deps ...*simtime.Task) (p0, p1 TripletShares, done *simtime.Task) {
+	defer metrics.phaseTriplet.Start().Stop()
 	u := c.Pool.NewUniform(m, k, -1, 1)
 	v := c.Pool.NewUniform(k, n, -1, 1)
 	genT := c.RandTask("triplet.rand", m*k+k*n, deps...)
@@ -95,6 +96,7 @@ func (c *Client) GenGemmTriplet(m, k, n int, useGPU bool, deps ...*simtime.Task)
 // rows×cols matrices (Z = U⊙V), the pattern the paper's CNN sliding
 // windows use (§7.2).
 func (c *Client) GenHadamardTriplet(rows, cols int, useGPU bool, deps ...*simtime.Task) (p0, p1 TripletShares, done *simtime.Task) {
+	defer metrics.phaseTriplet.Start().Stop()
 	u := c.Pool.NewUniform(rows, cols, -1, 1)
 	v := c.Pool.NewUniform(rows, cols, -1, 1)
 	genT := c.RandTask("triplet.rand", 2*rows*cols, deps...)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"parsecureml/internal/comm"
+	"parsecureml/internal/obs"
 	"parsecureml/internal/rng"
 	"parsecureml/internal/tensor"
 )
@@ -107,7 +108,7 @@ func TestKilledClientMidRequestRecovery(t *testing.T) {
 	cfg := ServeConfig{
 		ClientTimeout: 5 * time.Second,
 		PeerTimeout:   300 * time.Millisecond,
-		Logf:          t.Logf,
+		Log:           obs.LogfLogger(t.Logf),
 	}
 	addr0, addr1, shutdown := servePair(t, cfg)
 	defer shutdown()
@@ -148,7 +149,7 @@ func TestTruncatedUploadRecovery(t *testing.T) {
 	cfg := ServeConfig{
 		ClientTimeout: 500 * time.Millisecond,
 		PeerTimeout:   300 * time.Millisecond,
-		Logf:          t.Logf,
+		Log:           obs.LogfLogger(t.Logf),
 	}
 	addr0, addr1, shutdown := servePair(t, cfg)
 	defer shutdown()
@@ -207,8 +208,26 @@ func TestRequestMulTypedErrors(t *testing.T) {
 	if !errors.As(err, &se) {
 		t.Fatalf("error %v is not a *ServerError", err)
 	}
-	if se.Server != 1 {
-		t.Fatalf("blamed server %d (%s), want 1", se.Server, se.Op)
+	// Both legs fail here — server 1's write hits the closed pipe and
+	// server 0's result read times out waiting for a reply that never
+	// comes — and the joined error must blame both, each as a typed
+	// *ServerError naming its server.
+	blamed := map[int]string{}
+	legs := []error{err}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		legs = joined.Unwrap()
+	}
+	for _, leg := range legs {
+		var se *ServerError
+		if errors.As(leg, &se) {
+			blamed[se.Server] = se.Op
+		}
+	}
+	if _, ok := blamed[1]; !ok {
+		t.Fatalf("joined error %v never blames the dead server 1", err)
+	}
+	if _, ok := blamed[0]; !ok {
+		t.Fatalf("joined error %v never blames server 0's timed-out leg", err)
 	}
 	a0.Close()
 	a1.Close()
@@ -284,7 +303,7 @@ func TestRequestCodecRoundTrip(t *testing.T) {
 // Graceful shutdown: cancelling the serve context stops both accept
 // loops even with no client connected.
 func TestServeClientsGracefulShutdown(t *testing.T) {
-	_, _, shutdown := servePair(t, ServeConfig{PeerTimeout: 200 * time.Millisecond, Logf: t.Logf})
+	_, _, shutdown := servePair(t, ServeConfig{PeerTimeout: 200 * time.Millisecond, Log: obs.LogfLogger(t.Logf)})
 	done := make(chan struct{})
 	go func() {
 		shutdown()

@@ -3,6 +3,7 @@ package mpc
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"parsecureml/internal/comm"
 	"parsecureml/internal/tensor"
@@ -100,6 +101,7 @@ func DecodeInferSession(frame []byte) ([]InferLayer, error) {
 // parties over their peer link: exchange pre-activation shares (fixed
 // order), evaluate f on the reconstruction, re-share with party 0's mask.
 func remoteActivation(party int, peer *comm.Conn, kind ActivationKind, yi *tensor.Matrix, mask *tensor.Matrix) (*tensor.Matrix, error) {
+	exchT0 := time.Now()
 	frame := tensor.EncodeMatrix(make([]byte, 0, tensor.EncodedSize(yi)), yi)
 	var peerFrame []byte
 	var err error
@@ -118,13 +120,16 @@ func remoteActivation(party int, peer *comm.Conn, kind ActivationKind, yi *tenso
 			return nil, err
 		}
 	}
+	metrics.phaseExchange.ObserveSince(exchT0)
 	peerY, _, err := tensor.DecodeMatrix(peerFrame)
 	if err != nil {
 		return nil, err
 	}
+	reconT0 := time.Now()
 	y := tensor.AddTo(yi, peerY)
 	fy := tensor.New(y.Rows, y.Cols)
 	tensor.Apply(fy, y, kind.Apply)
+	metrics.phaseReconstruct.ObserveSince(reconT0)
 	if party == 0 {
 		// share = f(y) − R; ship R to party 1.
 		share := tensor.SubTo(fy, mask)

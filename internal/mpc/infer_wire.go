@@ -2,6 +2,7 @@ package mpc
 
 import (
 	"fmt"
+	"time"
 
 	"parsecureml/internal/comm"
 	"parsecureml/internal/tensor"
@@ -179,8 +180,11 @@ func (s *wireInferSession) serveRequest(client, peer comm.Framer, masks MaskFill
 	if err != nil {
 		return err // EOF-family: session over (caller classifies)
 	}
+	span := metrics.reqInferWire.Start()
+	metrics.requests.Inc()
 	s.reqBuf = frame
 	if _, err := tensor.DecodeMatrixInto(s.x, frame); err != nil {
+		metrics.requestErrors.Inc()
 		return fmt.Errorf("mpc: request input: %w", err)
 	}
 	x := s.x
@@ -188,6 +192,7 @@ func (s *wireInferSession) serveRequest(client, peer comm.Framer, masks MaskFill
 		l := &s.layers[i]
 		y := s.ys[i]
 		if _, err := s.w.mul(peer, x, l.W, l.T, s.fPub[i], y); err != nil {
+			metrics.requestErrors.Inc()
 			return fmt.Errorf("mpc: layer %d: %w", i, err)
 		}
 		// Bias: share-local row broadcast.
@@ -203,18 +208,22 @@ func (s *wireInferSession) serveRequest(client, peer comm.Framer, masks MaskFill
 				masks.FillUniform(r, -ShareRange, ShareRange)
 				// R goes out while party 1's share streams in.
 				if err := s.w.swap(peer, r, s.peerYs[i]); err != nil {
+					metrics.requestErrors.Inc()
 					return fmt.Errorf("mpc: layer %d activation: %w", i, err)
 				}
 				// share := f(y0 + y1) − R, reconstructed in the serial
 				// path's order so predictions match it bit for bit.
+				reconT0 := time.Now()
 				tensor.Add(y, y, s.peerYs[i])
 				tensor.Apply(y, y, s.acts[i])
 				tensor.Sub(y, y, r)
+				metrics.phaseReconstruct.ObserveSince(reconT0)
 			} else {
 				// Ship y1; the replacement share is party 0's mask R,
 				// arriving concurrently (swap decodes it into y only after
 				// y's bytes are on the wire).
 				if err := s.w.swap(peer, y, y); err != nil {
+					metrics.requestErrors.Inc()
 					return fmt.Errorf("mpc: layer %d activation: %w", i, err)
 				}
 			}
@@ -222,7 +231,12 @@ func (s *wireInferSession) serveRequest(client, peer comm.Framer, masks MaskFill
 		x = y
 	}
 	s.outBuf = tensor.EncodeMatrix(s.outBuf[:0], x)
-	return client.WriteFrame(s.outBuf)
+	if err := client.WriteFrame(s.outBuf); err != nil {
+		metrics.requestErrors.Inc()
+		return err
+	}
+	span.Stop()
+	return nil
 }
 
 // ServeInferenceWire handles one inference session like ServeInference,

@@ -1,0 +1,86 @@
+package mpc
+
+import (
+	"parsecureml/internal/comm"
+	"parsecureml/internal/obs"
+	"parsecureml/internal/tensor"
+)
+
+// Serving-stack instrumentation, registered once on obs.Default and
+// exposed by cmd/psml-server's -debug-addr listener. The phase split
+// mirrors the paper's profiling axes — offline triplet generation
+// (§4.2), the online Eq. (8) GEMM, mask/activation reconstruction
+// (Eq. 5), and inter-node transfer — so a scrape shows the same balance
+// the paper's Fig. 9/10 measurements do. Everything here is atomic on
+// preallocated storage: observing a phase adds nothing to the wire
+// path's allocs/op (the BENCH_wire.json baseline is enforced in CI).
+var metrics = struct {
+	// Per-phase serving time (seconds). "triplet_gen" is the client-side
+	// offline phase; the other three decompose every online request.
+	phaseTriplet     *obs.Histogram
+	phaseExchange    *obs.Histogram
+	phaseGemm        *obs.Histogram
+	phaseReconstruct *obs.Histogram
+
+	// Whole-request latency per serving path.
+	reqSerial, reqWire           *obs.Histogram
+	reqInferSerial, reqInferWire *obs.Histogram
+
+	requests, requestErrors *obs.Counter
+	sessions, sessionErrors *obs.Counter
+	sessionsActive          *obs.Gauge
+
+	// Connection-lifecycle pathologies the bugfix sweep made visible:
+	// orphaned frames shed by request-id tagging, and links declared
+	// desynchronized after the stale-frame bound.
+	staleFrames *obs.Counter
+	desyncs     *obs.Counter
+}{
+	phaseTriplet:     obs.Default.Histogram(`psml_phase_seconds{phase="triplet_gen"}`, "Serving time per protocol phase (paper: offline, online, reconstruct, transfer)."),
+	phaseExchange:    obs.Default.Histogram(`psml_phase_seconds{phase="exchange"}`, "Serving time per protocol phase (paper: offline, online, reconstruct, transfer)."),
+	phaseGemm:        obs.Default.Histogram(`psml_phase_seconds{phase="gemm"}`, "Serving time per protocol phase (paper: offline, online, reconstruct, transfer)."),
+	phaseReconstruct: obs.Default.Histogram(`psml_phase_seconds{phase="reconstruct"}`, "Serving time per protocol phase (paper: offline, online, reconstruct, transfer)."),
+
+	reqSerial:      obs.Default.Histogram(`psml_request_seconds{path="mul_serial"}`, "Whole-request serving latency per path."),
+	reqWire:        obs.Default.Histogram(`psml_request_seconds{path="mul_wire"}`, "Whole-request serving latency per path."),
+	reqInferSerial: obs.Default.Histogram(`psml_request_seconds{path="infer_serial"}`, "Whole-request serving latency per path."),
+	reqInferWire:   obs.Default.Histogram(`psml_request_seconds{path="infer_wire"}`, "Whole-request serving latency per path."),
+
+	requests:      obs.Default.Counter("psml_requests_total", "Requests served (all paths)."),
+	requestErrors: obs.Default.Counter("psml_request_errors_total", "Requests that failed mid-protocol."),
+	sessions:      obs.Default.Counter("psml_sessions_total", "Client sessions accepted."),
+	sessionErrors: obs.Default.Counter("psml_session_errors_total", "Client sessions that ended in an error."),
+	sessionsActive: obs.Default.Gauge("psml_sessions_active", "Client sessions currently being served."),
+
+	staleFrames: obs.Default.Counter("psml_stale_frames_total", "Orphaned frames discarded by request-id tagging (peer link and client results)."),
+	desyncs:     obs.Default.Counter("psml_peer_desync_total", "Links declared desynchronized after the stale-frame bound."),
+}
+
+func init() {
+	// Transport and pool accounting live in packages that must not
+	// depend on obs; expose their totals as read-only collectors.
+	obs.Default.FuncCounter("psml_conn_bytes_in_total", "Bytes received over framed connections (length prefixes included).", func() float64 {
+		in, _, _, _ := comm.WireTotals()
+		return float64(in)
+	})
+	obs.Default.FuncCounter("psml_conn_bytes_out_total", "Bytes sent over framed connections (length prefixes included).", func() float64 {
+		_, out, _, _ := comm.WireTotals()
+		return float64(out)
+	})
+	obs.Default.FuncCounter("psml_conn_frames_in_total", "Whole frames received over framed connections.", func() float64 {
+		_, _, in, _ := comm.WireTotals()
+		return float64(in)
+	})
+	obs.Default.FuncCounter("psml_conn_frames_out_total", "Whole frames sent over framed connections.", func() float64 {
+		_, _, _, out := comm.WireTotals()
+		return float64(out)
+	})
+	obs.Default.FuncCounter("psml_pool_hits_total", "Matrix pool Gets served from retired buffers.", func() float64 {
+		h, _ := tensor.PoolTotals()
+		return float64(h)
+	})
+	obs.Default.FuncCounter("psml_pool_misses_total", "Matrix pool Gets that had to allocate.", func() float64 {
+		_, m := tensor.PoolTotals()
+		return float64(m)
+	})
+}

@@ -2,6 +2,7 @@ package mpc
 
 import (
 	"fmt"
+	"time"
 
 	"parsecureml/internal/comm"
 	"parsecureml/internal/tensor"
@@ -30,7 +31,9 @@ func RemoteParty(party int, conn comm.Framer, in Shares) (*tensor.Matrix, error)
 	fi := tensor.SubTo(in.B, in.T.V)
 
 	// Exchange. Party 0 sends first, then receives; party 1 mirrors —
-	// a deadlock-free fixed order on one duplex connection.
+	// a deadlock-free fixed order on one duplex connection. The whole
+	// round is the transfer phase the paper's profiling isolates.
+	exchT0 := time.Now()
 	frame := make([]byte, 0, tensor.EncodedSize(ei)+tensor.EncodedSize(fi))
 	frame = tensor.EncodeMatrix(frame, ei)
 	frame = tensor.EncodeMatrix(frame, fi)
@@ -51,6 +54,7 @@ func RemoteParty(party int, conn comm.Framer, in Shares) (*tensor.Matrix, error)
 			return nil, fmt.Errorf("mpc: send E/F: %w", err)
 		}
 	}
+	metrics.phaseExchange.ObserveSince(exchT0)
 	peerE, n, err := tensor.DecodeMatrix(peerFrame)
 	if err != nil {
 		return nil, fmt.Errorf("mpc: decode peer E: %w", err)
@@ -61,10 +65,13 @@ func RemoteParty(party int, conn comm.Framer, in Shares) (*tensor.Matrix, error)
 	}
 
 	// Reconstruct the public masks (Eq. 5).
+	reconT0 := time.Now()
 	e := tensor.AddTo(ei, peerE)
 	f := tensor.AddTo(fi, peerF)
+	metrics.phaseReconstruct.ObserveSince(reconT0)
 
 	// C_i = ((−i)·E + A_i)×F + E×B_i + Z_i (Eq. 8).
+	gemmT0 := time.Now()
 	d := in.A.Clone()
 	if party == 1 {
 		tensor.AXPY(d, -1, e)
@@ -73,6 +80,7 @@ func RemoteParty(party int, conn comm.Framer, in Shares) (*tensor.Matrix, error)
 	eb := tensor.MulTo(e, in.B)
 	tensor.Add(c, c, eb)
 	tensor.Add(c, c, in.T.Z)
+	metrics.phaseGemm.ObserveSince(gemmT0)
 	return c, nil
 }
 

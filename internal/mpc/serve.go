@@ -8,10 +8,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"parsecureml/internal/comm"
+	"parsecureml/internal/obs"
 	"parsecureml/internal/tensor"
 )
 
@@ -158,7 +160,9 @@ func (t *taggedConn) ReadFrame() ([]byte, error) {
 			return f[requestIDBytes:], nil
 		}
 		// Stale frame from an aborted round: drop and keep reading.
+		metrics.staleFrames.Inc()
 	}
+	metrics.desyncs.Inc()
 	return nil, ErrPeerDesync
 }
 
@@ -171,24 +175,35 @@ func (t *taggedConn) ReadFrameInto(buf []byte) ([]byte, error) {
 
 // ServeTriplet handles one multiplication request: read the client's
 // request frame, run the party's protocol against the peer under the
-// request's id, return C_i to the client. io.EOF from the client ends a
+// request's id, return C_i to the client. The reply frame echoes the
+// request id ahead of the result matrix, so a client whose earlier
+// request died mid-read can recognize the orphaned result and discard
+// it instead of silently desyncing. io.EOF from the client ends a
 // serving loop cleanly.
 func ServeTriplet(party int, client, peer comm.Framer) error {
 	frame, err := client.ReadFrame()
 	if err != nil {
 		return err // including io.EOF: client done
 	}
+	span := metrics.reqSerial.Start()
+	metrics.requests.Inc()
 	id, in, err := DecodeRequest(frame)
 	if err != nil {
+		metrics.requestErrors.Inc()
 		return err
 	}
 	tc := &taggedConn{c: peer}
 	tc.setID(id)
 	ci, err := RemoteParty(party, tc, in)
 	if err != nil {
+		metrics.requestErrors.Inc()
 		return fmt.Errorf("mpc: request %016x: %w", id, err)
 	}
-	return client.WriteFrame(tensor.EncodeMatrix(make([]byte, 0, tensor.EncodedSize(ci)), ci))
+	out := binary.LittleEndian.AppendUint64(make([]byte, 0, requestIDBytes+tensor.EncodedSize(ci)), id)
+	out = tensor.EncodeMatrix(out, ci)
+	err = client.WriteFrame(out)
+	span.Stop()
+	return err
 }
 
 // isSessionEnd reports an error that means "client done", not a failure.
@@ -229,20 +244,27 @@ func ServeLoopWire(party int, client, peer comm.Framer, cfg WireConfig) error {
 			return err
 		}
 		reqBuf = frame
+		span := metrics.reqWire.Start()
+		metrics.requests.Inc()
 		id, in, err := DecodeRequest(frame)
 		if err != nil {
+			metrics.requestErrors.Inc()
 			return err
 		}
 		tc.setID(id)
 		ci, err := w.mul(tc, in.A, in.B, in.T, nil, nil)
 		if err != nil {
+			metrics.requestErrors.Inc()
 			return fmt.Errorf("mpc: request %016x: %w", id, err)
 		}
-		outBuf = tensor.EncodeMatrix(outBuf[:0], ci)
+		outBuf = binary.LittleEndian.AppendUint64(outBuf[:0], id)
+		outBuf = tensor.EncodeMatrix(outBuf, ci)
 		w.put(ci)
 		if err := client.WriteFrame(outBuf); err != nil {
+			metrics.requestErrors.Inc()
 			return err
 		}
+		span.Stop()
 	}
 }
 
@@ -263,38 +285,61 @@ func (e *ServerError) Unwrap() error { return e.Err }
 // pre-split shares to both servers concurrently, collect and merge the
 // result shares. Deadlines come from the connections (comm.Conn
 // SetTimeouts); failures identify the server and step via *ServerError.
+//
+// Failure containment: when one leg fails, the other leg is always
+// drained to completion before RequestMul returns — a surviving server's
+// goroutine is never left mid-protocol on a shared connection — and
+// every leg error is surfaced via errors.Join (errors.As still finds
+// each *ServerError). Result frames echo the request id, so a result
+// orphaned by an earlier failed call (e.g. a read deadline that expired
+// just before the server replied) is recognized as stale on the next
+// call and discarded instead of silently desyncing the connection.
 func RequestMul(s0, s1 comm.Framer, in0, in1 Shares) (*tensor.Matrix, error) {
 	id := newRequestID()
 	results := make(chan *ServerError, 2)
 	shares := [2]*tensor.Matrix{}
-	leg := func(server int, c comm.Framer, in Shares) {
+	leg := func(server int, c comm.Framer, in Shares) *ServerError {
 		if err := c.WriteFrame(EncodeRequest(id, in)); err != nil {
-			results <- &ServerError{Server: server, Op: "upload", Err: err}
-			return
+			return &ServerError{Server: server, Op: "upload", Err: err}
 		}
-		f, err := c.ReadFrame()
-		if err != nil {
-			results <- &ServerError{Server: server, Op: "result", Err: err}
-			return
+		for tries := 0; tries < maxStaleFrames; tries++ {
+			f, err := c.ReadFrame()
+			if err != nil {
+				return &ServerError{Server: server, Op: "result", Err: err}
+			}
+			if len(f) < requestIDBytes {
+				return &ServerError{Server: server, Op: "decode",
+					Err: fmt.Errorf("mpc: result frame of %d bytes has no request id", len(f))}
+			}
+			if binary.LittleEndian.Uint64(f) != id {
+				// Orphaned result of an aborted earlier request: shed it,
+				// like the peer link sheds stale exchange frames.
+				metrics.staleFrames.Inc()
+				continue
+			}
+			m, _, err := tensor.DecodeMatrix(f[requestIDBytes:])
+			if err != nil {
+				return &ServerError{Server: server, Op: "decode", Err: err}
+			}
+			shares[server] = m
+			return nil
 		}
-		m, _, err := tensor.DecodeMatrix(f)
-		if err != nil {
-			results <- &ServerError{Server: server, Op: "decode", Err: err}
-			return
-		}
-		shares[server] = m
-		results <- nil
+		metrics.desyncs.Inc()
+		return &ServerError{Server: server, Op: "result", Err: ErrPeerDesync}
 	}
-	go leg(0, s0, in0)
-	go leg(1, s1, in1)
-	var firstErr error
+	go func() { results <- leg(0, s0, in0) }()
+	go func() { results <- leg(1, s1, in1) }()
+	// Always collect both legs — returning on the first failure would
+	// leave the survivor mid-protocol on a connection the caller may
+	// reuse.
+	var legErrs [2]error
 	for i := 0; i < 2; i++ {
-		if err := <-results; err != nil && firstErr == nil {
-			firstErr = err
+		if se := <-results; se != nil {
+			legErrs[se.Server] = se
 		}
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if err := errors.Join(legErrs[0], legErrs[1]); err != nil {
+		return nil, err
 	}
 	return RemoteCombine(shares[0], shares[1]), nil
 }
@@ -313,14 +358,10 @@ type ServeConfig struct {
 	// (ServeLoopWire) instead of the serial per-request protocol. Both
 	// parties must configure it identically — the peer framings differ.
 	Wire *WireConfig
-	// Logf receives serving events; nil silences them.
-	Logf func(format string, args ...any)
-}
-
-func (c ServeConfig) logf(format string, args ...any) {
-	if c.Logf != nil {
-		c.Logf(format, args...)
-	}
+	// Log receives structured serving events (session lifecycle, accept
+	// failures); nil silences them. Metrics are recorded regardless — the
+	// event stream and /metrics share the same call sites.
+	Log *obs.Logger
 }
 
 // maxAcceptFailures bounds consecutive listener failures before
@@ -334,12 +375,31 @@ const maxAcceptFailures = 5
 // peer-exchange timeout — is logged and closed; the loop then accepts
 // the next client, and the request-id tagging lets the peers shed any
 // frames the dead session orphaned. Returns nil on graceful shutdown.
+//
+// Shutdown is bounded: cancelling ctx closes the listener AND the active
+// client connection, so an in-flight session unblocks immediately
+// instead of running until ClientTimeout (or forever when it is 0).
 func ServeClients(ctx context.Context, party int, ln net.Listener, peer *comm.Conn, cfg ServeConfig) error {
 	if cfg.PeerTimeout > 0 {
 		peer.SetTimeouts(cfg.PeerTimeout, cfg.PeerTimeout)
 	}
-	// Cancelling ctx closes the listener, unblocking Accept.
-	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	// Cancelling ctx closes the listener (unblocking Accept) and the
+	// session being served (unblocking its frame reads). The mutex closes
+	// the race where ctx fires between Accept returning a conn and the
+	// loop recording it: whichever side runs second sees the other's
+	// state and closes the conn.
+	var mu sync.Mutex
+	var active *comm.Conn
+	stopping := false
+	stop := context.AfterFunc(ctx, func() {
+		mu.Lock()
+		defer mu.Unlock()
+		stopping = true
+		ln.Close()
+		if active != nil {
+			active.Close()
+		}
+	})
 	defer stop()
 
 	failures := 0
@@ -353,25 +413,45 @@ func ServeClients(ctx context.Context, party int, ln net.Listener, peer *comm.Co
 			if failures >= maxAcceptFailures {
 				return fmt.Errorf("mpc: party %d accept: %w", party, err)
 			}
-			cfg.logf("party %d: accept error (%d/%d): %v", party, failures, maxAcceptFailures, err)
-			time.Sleep(time.Duration(failures) * 10 * time.Millisecond)
+			cfg.Log.Error("accept", err, "party", party, "failures", failures, "max", maxAcceptFailures)
+			// Backoff, but never outlive a cancelled context.
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(time.Duration(failures) * 10 * time.Millisecond):
+			}
 			continue
 		}
 		failures = 0
+		mu.Lock()
+		if stopping {
+			mu.Unlock()
+			client.Close()
+			return nil
+		}
+		active = client
+		mu.Unlock()
 		if cfg.ClientTimeout > 0 {
 			client.SetTimeouts(cfg.ClientTimeout, cfg.ClientTimeout)
 		}
-		cfg.logf("party %d: client session start", party)
+		metrics.sessions.Inc()
+		metrics.sessionsActive.Add(1)
+		cfg.Log.Event("session_start", "party", party)
 		if cfg.Wire != nil {
 			err = ServeLoopWire(party, client, peer, *cfg.Wire)
 		} else {
 			err = ServeLoop(party, client, peer)
 		}
 		if err != nil {
-			cfg.logf("party %d: session error: %v", party, err)
+			metrics.sessionErrors.Inc()
+			cfg.Log.Error("session", err, "party", party)
 		} else {
-			cfg.logf("party %d: client session done", party)
+			cfg.Log.Event("session_done", "party", party)
 		}
+		metrics.sessionsActive.Add(-1)
+		mu.Lock()
+		active = nil
+		mu.Unlock()
 		client.Close()
 		if ctx.Err() != nil {
 			return nil
@@ -384,19 +464,39 @@ const (
 	helloMagic = 0x50534d4c // "PSML"
 )
 
+// helloTimeout bounds each half of the role handshake. Without it the
+// hello runs with whatever deadlines the connection already has — often
+// none on a freshly dialed conn — and a silent or wedged peer blocks
+// server startup indefinitely. A var so tests can shrink it.
+var helloTimeout = 10 * time.Second
+
 // WriteHello sends a role handshake (party index) on a fresh connection.
+// The write runs under a bounded deadline (helloTimeout) regardless of
+// the connection's configured timeouts, which are restored afterwards.
 func WriteHello(c *comm.Conn, party int) error {
+	r0, w0 := c.Timeouts()
+	c.SetTimeouts(r0, helloTimeout)
+	defer c.SetTimeouts(r0, w0)
 	var buf [8]byte
 	binary.LittleEndian.PutUint32(buf[:4], helloMagic)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(party))
-	return c.WriteFrame(buf[:])
+	if err := c.WriteFrame(buf[:]); err != nil {
+		return fmt.Errorf("mpc: hello: %w", err)
+	}
+	return nil
 }
 
 // ReadHello validates the handshake and returns the peer's party index.
+// The read runs under a bounded deadline (helloTimeout) regardless of
+// the connection's configured timeouts, which are restored afterwards —
+// a silent peer fails the handshake instead of hanging startup.
 func ReadHello(c *comm.Conn) (int, error) {
+	r0, w0 := c.Timeouts()
+	c.SetTimeouts(helloTimeout, w0)
+	defer c.SetTimeouts(r0, w0)
 	frame, err := c.ReadFrame()
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("mpc: hello: %w", err)
 	}
 	if len(frame) != 8 || binary.LittleEndian.Uint32(frame[:4]) != helloMagic {
 		return 0, fmt.Errorf("mpc: bad hello frame")

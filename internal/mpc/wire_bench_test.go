@@ -279,3 +279,40 @@ func TestEmitWireBenchBaseline(t *testing.T) {
 	}
 	t.Logf("wrote %s", out)
 }
+
+// TestWireAllocsBaseline re-runs the steady-state wire inference bench
+// and fails if allocs/op regressed past the committed BENCH_wire.json
+// figure — the guard that keeps instrumentation and other serving-layer
+// changes off the hot path's allocation budget. Gated on
+// BENCH_WIRE_BASELINE (the baseline file's path) so plain `go test`
+// stays fast; CI points it at the repo's committed baseline.
+func TestWireAllocsBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_WIRE_BASELINE")
+	if path == "" {
+		t.Skip("BENCH_WIRE_BASELINE not set")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline struct {
+		InferRequest struct {
+			Wire struct {
+				AllocsPerOp int64 `json:"allocs_per_op"`
+			} `json:"wire"`
+		} `json:"infer_request"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.InferRequest.Wire.AllocsPerOp
+	if want <= 0 {
+		t.Fatalf("baseline %s has no infer_request.wire.allocs_per_op", path)
+	}
+	got := testing.Benchmark(func(b *testing.B) { benchInferRequest(b, true) }).AllocsPerOp()
+	if got > want {
+		t.Errorf("wire infer request allocates %d/op, baseline %s allows %d", got, path, want)
+	} else {
+		t.Logf("wire infer request: %d allocs/op (baseline %d)", got, want)
+	}
+}

@@ -2,6 +2,7 @@ package mpc
 
 import (
 	"fmt"
+	"time"
 
 	"parsecureml/internal/comm"
 	"parsecureml/internal/tensor"
@@ -173,10 +174,18 @@ func (w *wireMul) mul(conn comm.Framer, a, b *tensor.Matrix, t TripletShares, fP
 	}
 	w.launch(conn, fi, ei, band)
 
+	// Per-phase accumulators: the banded loop interleaves transfer waits,
+	// Eq. 5 reconstruction, and Eq. 8 compute, so each is summed across
+	// bands and observed once per multiplication (cheap monotonic-clock
+	// reads, no allocation).
+	var exchDur, reconDur, gemmDur time.Duration
+
 	// Public F (Eq. 5) — from cache, or the head frame of each stream.
 	f := fPub
 	if f == nil {
+		t0 := time.Now()
 		frame, err := readFrameInto(conn, w.recvBuf)
+		exchDur += time.Since(t0)
 		if err != nil {
 			return nil, fmt.Errorf("mpc: recv F: %w", err)
 		}
@@ -185,8 +194,10 @@ func (w *wireMul) mul(conn comm.Framer, a, b *tensor.Matrix, t TripletShares, fP
 		if _, err := tensor.DecodeMatrixInto(peerF, frame); err != nil {
 			return nil, fmt.Errorf("mpc: decode peer F: %w", err)
 		}
+		t0 = time.Now()
 		f = w.get(k, n)
 		tensor.Add(f, fi, peerF)
+		reconDur += time.Since(t0)
 		w.put(peerF)
 	}
 
@@ -200,7 +211,9 @@ func (w *wireMul) mul(conn comm.Framer, a, b *tensor.Matrix, t TripletShares, fP
 	for lo := 0; lo < m; lo += band {
 		hi := min(lo+band, m)
 		rows := hi - lo
+		t0 := time.Now()
 		frame, err := readFrameInto(conn, w.recvBuf)
+		exchDur += time.Since(t0)
 		if err != nil {
 			return nil, fmt.Errorf("mpc: recv E band %d: %w", lo/band, err)
 		}
@@ -210,8 +223,11 @@ func (w *wireMul) mul(conn comm.Framer, a, b *tensor.Matrix, t TripletShares, fP
 			return nil, fmt.Errorf("mpc: decode E band %d: %w", lo/band, err)
 		}
 		// Reconstruct the band of the public E and fuse it (Eqs. 5, 8).
+		t0 = time.Now()
 		eBand := eBandBuf.SliceRowsInto(&w.eView, 0, rows)
 		tensor.Add(eBand, ei.SliceRowsInto(&w.eiView, lo, hi), pb)
+		t1 := time.Now()
+		reconDur += t1.Sub(t0)
 		dBand := dBandBuf.SliceRowsInto(&w.dView, 0, rows)
 		if w.party == 1 {
 			tensor.Sub(dBand, a.SliceRowsInto(&w.aView, lo, hi), eBand)
@@ -222,11 +238,14 @@ func (w *wireMul) mul(conn comm.Framer, a, b *tensor.Matrix, t TripletShares, fP
 		tensor.Gemm(cBand, dBand, f, 1, 0)                         // D×F
 		tensor.Gemm(cBand, eBand, b, 1, 1)                         // += E×B_i
 		tensor.AXPY(cBand, 1, t.Z.SliceRowsInto(&w.zView, lo, hi)) // += Z_i
+		gemmDur += time.Since(t1)
 	}
 	// The peer's reader consumes our bands symmetrically, so the sender
 	// drains; a peer that died instead surfaces here as its write error
 	// (bounded by the connection's deadlines).
+	t0 := time.Now()
 	sendErr := <-w.done
+	exchDur += time.Since(t0)
 	w.put(peerBand)
 	w.put(eBandBuf)
 	w.put(dBandBuf)
@@ -241,6 +260,9 @@ func (w *wireMul) mul(conn comm.Framer, a, b *tensor.Matrix, t TripletShares, fP
 		}
 		return nil, fmt.Errorf("mpc: send E/F: %w", sendErr)
 	}
+	metrics.phaseExchange.Observe(exchDur)
+	metrics.phaseReconstruct.Observe(reconDur)
+	metrics.phaseGemm.Observe(gemmDur)
 	return c, nil
 }
 
@@ -250,6 +272,7 @@ func (w *wireMul) mul(conn comm.Framer, a, b *tensor.Matrix, t TripletShares, fP
 // received frame is decoded into recvDst only after the sender drained,
 // so recvDst may alias the sent matrix (a share being replaced in place).
 func (w *wireMul) swap(conn comm.Framer, send, recvDst *tensor.Matrix) error {
+	span := metrics.phaseExchange.Start()
 	w.launch(conn, send, nil, 0)
 	frame, err := readFrameInto(conn, w.recvBuf)
 	if err != nil {
@@ -259,6 +282,7 @@ func (w *wireMul) swap(conn comm.Framer, send, recvDst *tensor.Matrix) error {
 	if err := <-w.done; err != nil {
 		return err
 	}
+	span.Stop()
 	_, err = tensor.DecodeMatrixInto(recvDst, frame)
 	return err
 }

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger is a small structured event logger in logfmt style:
+//
+//	ts=2026-08-05T12:00:00.000Z level=info event=session_start party=0
+//
+// It replaces the ad-hoc Logf plumbing: the serving layer emits events,
+// and because the logger shares counters with the metrics registry, the
+// event stream and /metrics agree by construction (every Error also
+// shows up in psml_log_errors_total). A nil *Logger discards everything,
+// so call sites never nil-check.
+//
+// Logging happens on session boundaries and failures, not on the
+// per-request hot path, so the formatting cost is irrelevant; the buffer
+// is still reused under the lock to keep steady churn off the GC.
+type Logger struct {
+	mu      sync.Mutex
+	w       io.Writer
+	buf     []byte
+	events  *Counter
+	errors  *Counter
+	timeNow func() time.Time // test hook; nil means time.Now
+}
+
+// NewLogger returns a logger writing to w. When reg is non-nil the
+// logger registers psml_log_events_total / psml_log_errors_total there
+// and bumps them on every emission.
+func NewLogger(w io.Writer, reg *Registry) *Logger {
+	l := &Logger{w: w}
+	if reg != nil {
+		l.events = reg.Counter("psml_log_events_total", "Structured log events emitted.")
+		l.errors = reg.Counter("psml_log_errors_total", "Structured log error events emitted.")
+	}
+	return l
+}
+
+// LogfLogger adapts a printf-style sink (log.Printf, testing.T.Logf) into
+// a Logger: each event renders to one formatted line. Counters are not
+// registered; pass the result only where a Logger is expected.
+func LogfLogger(logf func(format string, args ...any)) *Logger {
+	return NewLogger(logfWriter{logf}, nil)
+}
+
+type logfWriter struct {
+	logf func(format string, args ...any)
+}
+
+func (w logfWriter) Write(p []byte) (int, error) {
+	w.logf("%s", strings.TrimSuffix(string(p), "\n"))
+	return len(p), nil
+}
+
+// appendValue renders one logfmt value, quoting anything with spaces,
+// quotes, or '=' so lines stay machine-splittable.
+func appendValue(buf []byte, v any) []byte {
+	s, ok := v.(string)
+	if !ok {
+		if err, isErr := v.(error); isErr {
+			s = err.Error()
+		} else {
+			s = fmt.Sprint(v)
+		}
+	}
+	if strings.ContainsAny(s, " \"=\n") || s == "" {
+		return fmt.Appendf(buf, "%q", s)
+	}
+	return append(buf, s...)
+}
+
+// emit renders and writes one line: ts, level, event, then the key/value
+// pairs (alternating key string, value).
+func (l *Logger) emit(level, event string, kv []any) {
+	if l == nil || l.w == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now
+	if l.timeNow != nil {
+		now = l.timeNow
+	}
+	buf := l.buf[:0]
+	buf = append(buf, "ts="...)
+	buf = now().UTC().AppendFormat(buf, "2006-01-02T15:04:05.000Z")
+	buf = append(buf, " level="...)
+	buf = append(buf, level...)
+	buf = append(buf, " event="...)
+	buf = appendValue(buf, event)
+	for i := 0; i+1 < len(kv); i += 2 {
+		buf = append(buf, ' ')
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		buf = append(buf, key...)
+		buf = append(buf, '=')
+		buf = appendValue(buf, kv[i+1])
+	}
+	buf = append(buf, '\n')
+	l.buf = buf
+	l.w.Write(buf)
+}
+
+// Event emits one info-level event with alternating key/value pairs.
+func (l *Logger) Event(event string, kv ...any) {
+	if l == nil {
+		return
+	}
+	if l.events != nil {
+		l.events.Inc()
+	}
+	l.emit("info", event, kv)
+}
+
+// Error emits one error-level event carrying err, and counts it.
+func (l *Logger) Error(event string, err error, kv ...any) {
+	if l == nil {
+		return
+	}
+	if l.events != nil {
+		l.events.Inc()
+	}
+	if l.errors != nil {
+		l.errors.Inc()
+	}
+	l.emit("error", event, append([]any{"err", err}, kv...))
+}

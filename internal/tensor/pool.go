@@ -3,6 +3,7 @@ package tensor
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool recycles dense matrix backing stores across requests. The serving
@@ -17,6 +18,26 @@ import (
 // GetZeroed when accumulating). A Pool is safe for concurrent use.
 type Pool struct {
 	classes [maxPoolClass]sync.Pool
+	// Recycling accounting: a hit is a Get satisfied by a retired buffer,
+	// a miss is a Get that had to allocate. Mirrored into the package
+	// totals so the observability layer can expose a process-wide rate.
+	hits, misses atomic.Int64
+}
+
+// Package-wide pool accounting across every Pool; see PoolTotals.
+var poolHits, poolMisses atomic.Int64
+
+// PoolTotals returns process-wide pool recycling counts: Gets served
+// from retired buffers (hits) and Gets that allocated (misses). The
+// hit rate is the fraction of serving-path matrix demand the pools
+// absorb instead of the GC.
+func PoolTotals() (hits, misses int64) {
+	return poolHits.Load(), poolMisses.Load()
+}
+
+// Stats returns this pool's hit/miss counts.
+func (p *Pool) Stats() (hits, misses int64) {
+	return p.hits.Load(), p.misses.Load()
 }
 
 // maxPoolClass bounds the recycled capacity classes at 2^31 elements
@@ -47,14 +68,20 @@ func (p *Pool) Get(rows, cols int) *Matrix {
 	}
 	c := poolClass(need)
 	if c >= maxPoolClass {
+		p.misses.Add(1)
+		poolMisses.Add(1)
 		return New(rows, cols)
 	}
 	if v := p.classes[c].Get(); v != nil {
 		m := v.(*Matrix)
 		m.Rows, m.Cols = rows, cols
 		m.Data = m.Data[:need]
+		p.hits.Add(1)
+		poolHits.Add(1)
 		return m
 	}
+	p.misses.Add(1)
+	poolMisses.Add(1)
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, need, 1<<c)}
 }
 
