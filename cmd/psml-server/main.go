@@ -7,9 +7,11 @@
 //	psml-server -party 0 -listen :9100 -peer-listen :9200 &
 //	psml-server -party 1 -listen :9101 -peer-dial 127.0.0.1:9200 &
 //
-// Each accepted client connection is served until it disconnects; the
-// servers verify each other's party index with a handshake. Neither
-// process ever holds more than additive shares of the client's data.
+// Accepted client connections are served concurrently — up to
+// -max-sessions at once, multiplexed over the single peer link; further
+// accepts are shed. The servers verify each other's party index with a
+// handshake. Neither process ever holds more than additive shares of
+// the client's data.
 //
 // Failure behavior: the peer dial retries with exponential backoff (so
 // start order doesn't matter), per-frame deadlines bound every protocol
@@ -38,6 +40,7 @@ func main() {
 	listen := flag.String("listen", ":9100", "address for client connections")
 	peerListen := flag.String("peer-listen", "", "listen for the peer server on this address")
 	peerDial := flag.String("peer-dial", "", "connect to the peer server at this address")
+	maxSessions := flag.Int("max-sessions", mpc.DefaultMaxSessions, "max concurrent client sessions; further accepts are shed (closed immediately and counted on psml_sessions_shed_total)")
 	clientTimeout := flag.Duration("client-timeout", 30*time.Second, "per-frame deadline on client connections; also the session idle timeout (0 disables)")
 	peerTimeout := flag.Duration("peer-timeout", 10*time.Second, "per-frame deadline on the inter-server link (0 disables)")
 	dialAttempts := flag.Int("peer-dial-attempts", 10, "max peer dial attempts before giving up")
@@ -124,6 +127,7 @@ func main() {
 		log.Fatalf("client listen: %v", err)
 	}
 	cfg := mpc.ServeConfig{
+		MaxSessions:   *maxSessions,
 		ClientTimeout: *clientTimeout,
 		PeerTimeout:   *peerTimeout,
 		Log:           logger,

@@ -11,10 +11,16 @@
 // the stuck party times out instead of blocking forever, and the
 // request-id tagging on the peer link lets the next (honest) client be
 // served correctly.
+//
+// The final phase scales out: -clients concurrent data owners share the
+// two servers, each session multiplexed over the one peer link, with
+// the offline phase (triplet generation, paper §2.2) served from a
+// background tripletpool warmed to -triplet-pool-depth per shape.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"sync"
@@ -24,10 +30,16 @@ import (
 
 	"parsecureml/internal/comm"
 	"parsecureml/internal/mpc"
+	"parsecureml/internal/mpc/tripletpool"
 	"parsecureml/internal/obs"
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
 )
 
 func main() {
+	clients := flag.Int("clients", 4, "concurrent data owners in the scale-out phase")
+	poolDepth := flag.Int("triplet-pool-depth", 3, "ready triplets the offline pool keeps per observed shape")
+	flag.Parse()
 	// Inter-server link (server0 listens, server1 dials with retry — the
 	// start order of the two servers doesn't matter).
 	peerLn, err := comm.Listen("127.0.0.1:0")
@@ -48,6 +60,7 @@ func main() {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cfg := mpc.ServeConfig{
+		MaxSessions:   *clients + 2,
 		ClientTimeout: 5 * time.Second,
 		PeerTimeout:   500 * time.Millisecond,
 		Log:           obs.LogfLogger(log.Printf),
@@ -158,6 +171,60 @@ func main() {
 	c0.Close()
 	c1.Close()
 	fmt.Println("all products verified; servers saw only shares and masked E/F frames")
+
+	// Scale-out phase: several data owners at once. Every session rides
+	// the same peer link (the mux interleaves their E/F exchanges), and
+	// the offline phase comes from a warmed triplet pool instead of being
+	// generated inline per request.
+	fmt.Printf("scale-out: %d concurrent clients, triplet pool depth %d:\n", *clients, *poolDepth)
+	tp := tripletpool.New(tripletpool.Config{Depth: *poolDepth, Workers: 2, Seed: 1234})
+	defer tp.Close()
+	draws := rng.NewPool(4321)
+	var drawMu sync.Mutex
+	draw := func(rows, cols int) *tensor.Matrix {
+		drawMu.Lock()
+		defer drawMu.Unlock()
+		return draws.NewUniform(rows, cols, -1, 1)
+	}
+
+	var cwg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		cwg.Add(1)
+		go func(i int) {
+			defer cwg.Done()
+			c0, err := comm.DialRetry(ln0.Addr().String(), comm.RetryConfig{Attempts: 10})
+			if err != nil {
+				log.Printf("client %d: %v", i, err)
+				return
+			}
+			defer c0.Close()
+			c1, err := comm.DialRetry(ln1.Addr().String(), comm.RetryConfig{Attempts: 10})
+			if err != nil {
+				log.Printf("client %d: %v", i, err)
+				return
+			}
+			defer c1.Close()
+			c0.SetTimeouts(5*time.Second, 5*time.Second)
+			c1.SetTimeouts(5*time.Second, 5*time.Second)
+			m, k, n := 32+8*i, 48, 24 // distinct geometry per owner
+			for round := 0; round < 2; round++ {
+				a, b := draw(m, k), draw(k, n)
+				in0, in1 := tp.Split(a, b)
+				got, err := mpc.RequestMul(c0, c1, in0, in1)
+				if err != nil {
+					log.Printf("client %d round %d: %v", i, round, err)
+					return
+				}
+				want := tensor.MulNaive(a, b)
+				fmt.Printf("  client %d round %d: %dx%d x %dx%d, max error %.3g\n",
+					i, round, m, k, k, n, got.MaxAbsDiff(want))
+			}
+		}(i)
+	}
+	cwg.Wait()
+	st := tripletpool.Totals()
+	fmt.Printf("triplet pool: %d ready, %d hits, %d misses, %d generated\n",
+		st.Ready, st.Hits, st.Misses, st.Generated)
 
 	cancel()
 	wg.Wait()

@@ -29,6 +29,7 @@ var metrics = struct {
 	requests, requestErrors *obs.Counter
 	sessions, sessionErrors *obs.Counter
 	sessionsActive          *obs.Gauge
+	sessionsShed            *obs.Counter
 
 	// Connection-lifecycle pathologies the bugfix sweep made visible:
 	// orphaned frames shed by request-id tagging, and links declared
@@ -46,11 +47,12 @@ var metrics = struct {
 	reqInferSerial: obs.Default.Histogram(`psml_request_seconds{path="infer_serial"}`, "Whole-request serving latency per path."),
 	reqInferWire:   obs.Default.Histogram(`psml_request_seconds{path="infer_wire"}`, "Whole-request serving latency per path."),
 
-	requests:      obs.Default.Counter("psml_requests_total", "Requests served (all paths)."),
-	requestErrors: obs.Default.Counter("psml_request_errors_total", "Requests that failed mid-protocol."),
-	sessions:      obs.Default.Counter("psml_sessions_total", "Client sessions accepted."),
-	sessionErrors: obs.Default.Counter("psml_session_errors_total", "Client sessions that ended in an error."),
+	requests:       obs.Default.Counter("psml_requests_total", "Requests served (all paths)."),
+	requestErrors:  obs.Default.Counter("psml_request_errors_total", "Requests that failed mid-protocol."),
+	sessions:       obs.Default.Counter("psml_sessions_total", "Client sessions accepted."),
+	sessionErrors:  obs.Default.Counter("psml_session_errors_total", "Client sessions that ended in an error."),
 	sessionsActive: obs.Default.Gauge("psml_sessions_active", "Client sessions currently being served."),
+	sessionsShed:   obs.Default.Counter("psml_sessions_shed_total", "Client connections shed at accept because MaxSessions were already in flight."),
 
 	staleFrames: obs.Default.Counter("psml_stale_frames_total", "Orphaned frames discarded by request-id tagging (peer link and client results)."),
 	desyncs:     obs.Default.Counter("psml_peer_desync_total", "Links declared desynchronized after the stale-frame bound."),
@@ -82,5 +84,24 @@ func init() {
 	obs.Default.FuncCounter("psml_pool_misses_total", "Matrix pool Gets that had to allocate.", func() float64 {
 		_, m := tensor.PoolTotals()
 		return float64(m)
+	})
+	// Peer-link multiplexing: one sub-stream per in-flight request.
+	obs.Default.FuncGauge("psml_mux_sessions_active", "Mux sub-streams currently open on peer links.", func() float64 {
+		return float64(comm.MuxTotals().SessionsActive)
+	})
+	obs.Default.FuncGauge("psml_mux_pending_frames", "Frames parked for mux sessions the local party has not opened yet.", func() float64 {
+		return float64(comm.MuxTotals().PendingFrames)
+	})
+	obs.Default.FuncGauge("psml_mux_pending_bytes", "Bytes parked for mux sessions the local party has not opened yet.", func() float64 {
+		return float64(comm.MuxTotals().PendingBytes)
+	})
+	obs.Default.FuncCounter("psml_mux_stale_frames_total", "Mux frames shed because their session was already closed.", func() float64 {
+		return float64(comm.MuxTotals().StaleFrames)
+	})
+	obs.Default.FuncCounter("psml_mux_evicted_frames_total", "Parked mux frames evicted under pending-buffer pressure.", func() float64 {
+		return float64(comm.MuxTotals().EvictedFrames)
+	})
+	obs.Default.FuncCounter("psml_mux_overflows_total", "Mux sessions killed by inbox overflow.", func() float64 {
+		return float64(comm.MuxTotals().Overflows)
 	})
 }

@@ -1,0 +1,38 @@
+package mpc
+
+import (
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+// Wall-clock offline-phase primitives for the serving stack. They are
+// the same mathematics as Client.Split / Client.GenGemmTriplet but carry
+// no simulated-time accounting, so they are safe for concurrent use —
+// rng.Pool fills are thread-safe (block-seeded per-stream MT19937, §5.1)
+// and everything else is pure computation on fresh matrices. The triplet
+// precompute pool (internal/mpc/tripletpool) and concurrent client
+// drivers build on these.
+
+// SplitRand divides secret into two float shares (secret = s0 + s1)
+// using rp's uniform masks — the §2.2 partitioning step, without the
+// simulator's cost model.
+func SplitRand(rp *rng.Pool, secret *tensor.Matrix) (s0, s1 *tensor.Matrix) {
+	s0 = rp.NewUniform(secret.Rows, secret.Cols, -ShareRange, ShareRange)
+	s1 = tensor.SubTo(secret, s0)
+	return s0, s1
+}
+
+// GenGemmTripletShares prepares and splits a Beaver triplet for an
+// (m×k)·(k×n) multiplication: U, V uniform, Z = U×V, each split into two
+// shares. Observed on the offline-phase histogram like the simulated
+// generator. Safe for concurrent use with a shared rp.
+func GenGemmTripletShares(rp *rng.Pool, m, k, n int) (p0, p1 TripletShares) {
+	defer metrics.phaseTriplet.Start().Stop()
+	u := rp.NewUniform(m, k, -1, 1)
+	v := rp.NewUniform(k, n, -1, 1)
+	z := tensor.MulTo(u, v)
+	u0, u1 := SplitRand(rp, u)
+	v0, v1 := SplitRand(rp, v)
+	z0, z1 := SplitRand(rp, z)
+	return TripletShares{U: u0, V: v0, Z: z0}, TripletShares{U: u1, V: v1, Z: z1}
+}

@@ -362,46 +362,85 @@ type ServeConfig struct {
 	// failures); nil silences them. Metrics are recorded regardless — the
 	// event stream and /metrics share the same call sites.
 	Log *obs.Logger
+	// MaxSessions bounds the client sessions served concurrently; accepts
+	// beyond the bound are shed (connection closed immediately, counted on
+	// psml_sessions_shed_total) rather than queued, so overload degrades
+	// loudly instead of stacking invisible latency. <= 0 selects
+	// DefaultMaxSessions.
+	MaxSessions int
 }
+
+// DefaultMaxSessions is the concurrent-session bound when
+// ServeConfig.MaxSessions is unset.
+const DefaultMaxSessions = 16
 
 // maxAcceptFailures bounds consecutive listener failures before
 // ServeClients gives up (a closed or broken listener, not a bad client).
 const maxAcceptFailures = 5
 
 // ServeClients is the failure-contained accept loop of one computation
-// party: serve client sessions from ln one at a time (the peer link
-// serializes sessions) until ctx is cancelled or the listener dies. A
-// session that fails — malformed frames, a client killed mid-protocol, a
-// peer-exchange timeout — is logged and closed; the loop then accepts
-// the next client, and the request-id tagging lets the peers shed any
-// frames the dead session orphaned. Returns nil on graceful shutdown.
+// party: serve up to cfg.MaxSessions client sessions concurrently over
+// the single peer link until ctx is cancelled or the listener dies. The
+// peer link is multiplexed (comm.Mux) with one sub-stream per in-flight
+// request, keyed by the request id both parties already share — the
+// paper's one MPI edge carrying every concurrent Beaver exchange.
+// Accepts beyond MaxSessions are shed immediately. A session that fails —
+// malformed frames, a client killed mid-protocol, a peer-exchange
+// timeout — is logged and torn down alone; its mux sub-streams are
+// aborted (notifying the peer's half) and its sibling sessions keep
+// running. Returns nil on graceful shutdown.
 //
-// Shutdown is bounded: cancelling ctx closes the listener AND the active
-// client connection, so an in-flight session unblocks immediately
-// instead of running until ClientTimeout (or forever when it is 0).
+// The peer connection is owned by the mux for the duration of the call
+// and is closed on return. Shutdown is bounded: cancelling ctx closes
+// the listener AND every tracked client connection, so in-flight
+// sessions unblock immediately instead of running until ClientTimeout
+// (or forever when it is 0).
 func ServeClients(ctx context.Context, party int, ln net.Listener, peer *comm.Conn, cfg ServeConfig) error {
 	if cfg.PeerTimeout > 0 {
-		peer.SetTimeouts(cfg.PeerTimeout, cfg.PeerTimeout)
+		// The peer's read side belongs to the demux reader, which must
+		// idle freely between requests: per-session reads are bounded by
+		// the mux's ReadTimeout instead of a connection deadline.
+		peer.SetTimeouts(0, cfg.PeerTimeout)
 	}
-	// Cancelling ctx closes the listener (unblocking Accept) and the
-	// session being served (unblocking its frame reads). The mutex closes
-	// the race where ctx fires between Accept returning a conn and the
-	// loop recording it: whichever side runs second sees the other's
+	mux := comm.NewMux(peer, comm.MuxConfig{ReadTimeout: cfg.PeerTimeout})
+	maxSessions := cfg.MaxSessions
+	if maxSessions <= 0 {
+		maxSessions = DefaultMaxSessions
+	}
+	// Concurrent wire sessions share one result-matrix pool (a private
+	// pool per session would defeat recycling across requests).
+	if cfg.Wire != nil && cfg.Wire.Pool == nil {
+		w := *cfg.Wire
+		w.Pool = tensor.NewPool()
+		cfg.Wire = &w
+	}
+
+	// Cancelling ctx closes the listener (unblocking Accept) and every
+	// tracked session conn (unblocking their frame reads). The mutex
+	// closes the race where ctx fires between Accept returning a conn and
+	// the loop recording it: whichever side runs second sees the other's
 	// state and closes the conn.
 	var mu sync.Mutex
-	var active *comm.Conn
+	active := make(map[*comm.Conn]struct{})
 	stopping := false
 	stop := context.AfterFunc(ctx, func() {
 		mu.Lock()
 		defer mu.Unlock()
 		stopping = true
 		ln.Close()
-		if active != nil {
-			active.Close()
+		for c := range active {
+			c.Close()
 		}
 	})
 	defer stop()
 
+	var wg sync.WaitGroup
+	defer func() {
+		wg.Wait()
+		mux.Close()
+	}()
+
+	sem := make(chan struct{}, maxSessions)
 	failures := 0
 	for {
 		client, err := comm.Accept(ln)
@@ -423,39 +462,117 @@ func ServeClients(ctx context.Context, party int, ln net.Listener, peer *comm.Co
 			continue
 		}
 		failures = 0
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Overload: shed the connection instead of queueing it behind
+			// an unbounded backlog.
+			metrics.sessionsShed.Inc()
+			cfg.Log.Event("session_shed", "party", party, "max_sessions", maxSessions)
+			client.Close()
+			continue
+		}
 		mu.Lock()
 		if stopping {
 			mu.Unlock()
 			client.Close()
+			<-sem
 			return nil
 		}
-		active = client
+		active[client] = struct{}{}
 		mu.Unlock()
-		if cfg.ClientTimeout > 0 {
-			client.SetTimeouts(cfg.ClientTimeout, cfg.ClientTimeout)
+		wg.Add(1)
+		go func(client *comm.Conn) {
+			defer wg.Done()
+			serveMuxSession(party, client, mux, cfg)
+			mu.Lock()
+			delete(active, client)
+			mu.Unlock()
+			client.Close()
+			<-sem
+		}(client)
+	}
+}
+
+// serveMuxSession runs one client session's request loop with its
+// lifecycle metrics and logging.
+func serveMuxSession(party int, client *comm.Conn, mux *comm.Mux, cfg ServeConfig) {
+	if cfg.ClientTimeout > 0 {
+		client.SetTimeouts(cfg.ClientTimeout, cfg.ClientTimeout)
+	}
+	metrics.sessions.Inc()
+	metrics.sessionsActive.Add(1)
+	cfg.Log.Event("session_start", "party", party)
+	err := serveMuxLoop(party, client, mux, cfg)
+	if err != nil && !isSessionEnd(err) {
+		metrics.sessionErrors.Inc()
+		cfg.Log.Error("session", err, "party", party)
+	} else {
+		cfg.Log.Event("session_done", "party", party)
+	}
+	metrics.sessionsActive.Add(-1)
+}
+
+// serveMuxLoop serves one client's requests until it disconnects, each
+// request's peer exchange running on its own mux sub-stream keyed by the
+// request id. The exchange itself is exactly ServeLoop's (serial) or
+// ServeLoopWire's (banded double pipeline) protocol — the mux session
+// replaces the dedicated tagged connection, so results stay bit-identical
+// to the single-session paths.
+func serveMuxLoop(party int, client *comm.Conn, mux *comm.Mux, cfg ServeConfig) error {
+	var w *wireMul
+	if cfg.Wire != nil {
+		w = newWireMul(party, *cfg.Wire)
+		defer w.close()
+	}
+	var reqBuf, outBuf []byte
+	for {
+		frame, err := readFrameInto(client, reqBuf)
+		if err != nil {
+			return err // including io.EOF: client done
 		}
-		metrics.sessions.Inc()
-		metrics.sessionsActive.Add(1)
-		cfg.Log.Event("session_start", "party", party)
-		if cfg.Wire != nil {
-			err = ServeLoopWire(party, client, peer, *cfg.Wire)
+		reqBuf = frame
+		var span obs.Span
+		if w != nil {
+			span = metrics.reqWire.Start()
 		} else {
-			err = ServeLoop(party, client, peer)
+			span = metrics.reqSerial.Start()
+		}
+		metrics.requests.Inc()
+		id, in, err := DecodeRequest(frame)
+		if err != nil {
+			metrics.requestErrors.Inc()
+			return err
+		}
+		sess, err := mux.Open(id)
+		if err != nil {
+			metrics.requestErrors.Inc()
+			return fmt.Errorf("mpc: request %016x: %w", id, err)
+		}
+		var ci *tensor.Matrix
+		if w != nil {
+			ci, err = w.mul(sess, in.A, in.B, in.T, nil, nil)
+		} else {
+			ci, err = RemoteParty(party, sess, in)
 		}
 		if err != nil {
-			metrics.sessionErrors.Inc()
-			cfg.Log.Error("session", err, "party", party)
-		} else {
-			cfg.Log.Event("session_done", "party", party)
+			// Notify the peer's half so it fails fast instead of waiting
+			// out its read deadline on frames that will never come.
+			sess.Abort()
+			metrics.requestErrors.Inc()
+			return fmt.Errorf("mpc: request %016x: %w", id, err)
 		}
-		metrics.sessionsActive.Add(-1)
-		mu.Lock()
-		active = nil
-		mu.Unlock()
-		client.Close()
-		if ctx.Err() != nil {
-			return nil
+		sess.Close()
+		outBuf = binary.LittleEndian.AppendUint64(outBuf[:0], id)
+		outBuf = tensor.EncodeMatrix(outBuf, ci)
+		if w != nil {
+			w.put(ci)
 		}
+		if err := client.WriteFrame(outBuf); err != nil {
+			metrics.requestErrors.Inc()
+			return err
+		}
+		span.Stop()
 	}
 }
 

@@ -1,0 +1,148 @@
+package tripletpool
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"parsecureml/internal/mpc"
+	"parsecureml/internal/tensor"
+)
+
+// checkTriplet verifies a split triplet is protocol-valid: Z0+Z1 =
+// (U0+U1)×(V0+V1) within float tolerance, for the requested geometry.
+func checkTriplet(t *testing.T, p0, p1 mpc.TripletShares, m, k, n int) {
+	t.Helper()
+	u := tensor.AddTo(p0.U, p1.U)
+	v := tensor.AddTo(p0.V, p1.V)
+	z := tensor.AddTo(p0.Z, p1.Z)
+	if u.Rows != m || u.Cols != k || v.Rows != k || v.Cols != n || z.Rows != m || z.Cols != n {
+		t.Fatalf("triplet geometry: U %dx%d V %dx%d Z %dx%d, want (%d,%d,%d)",
+			u.Rows, u.Cols, v.Rows, v.Cols, z.Rows, z.Cols, m, k, n)
+	}
+	want := tensor.MulTo(u, v)
+	for i := range z.Data {
+		if d := math.Abs(float64(z.Data[i] - want.Data[i])); d > 1e-3 {
+			t.Fatalf("Z[%d] off by %g: triplet does not satisfy Z = U×V", i, d)
+		}
+	}
+}
+
+func TestGetGemmValidTriplets(t *testing.T) {
+	p := New(Config{Depth: 2, Workers: 1, Seed: 42})
+	defer p.Close()
+	for _, g := range [][3]int{{4, 5, 6}, {8, 8, 8}, {1, 16, 3}} {
+		p0, p1 := p.GetGemm(g[0], g[1], g[2])
+		checkTriplet(t, p0, p1, g[0], g[1], g[2])
+	}
+}
+
+// TestPoolWarmsObservedShape checks the background workers refill a shape
+// after first use, so later Gets are hits.
+func TestPoolWarmsObservedShape(t *testing.T) {
+	p := New(Config{Depth: 3, Workers: 2, Seed: 1})
+	defer p.Close()
+	p.GetGemm(6, 6, 6) // miss: registers the shape
+	b := p.lookup(shape{6, 6, 6})
+	deadline := time.Now().Add(5 * time.Second)
+	for len(b.ready) < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if len(b.ready) != 3 {
+		t.Fatalf("ready depth %d after warmup, want 3", len(b.ready))
+	}
+	before := hitsTotal.Load()
+	p0, p1 := p.GetGemm(6, 6, 6)
+	if hitsTotal.Load() != before+1 {
+		t.Fatal("warm Get was not a pool hit")
+	}
+	checkTriplet(t, p0, p1, 6, 6, 6)
+}
+
+// TestPoolLRUEviction checks the shape bound evicts the least recently
+// used geometry.
+func TestPoolLRUEviction(t *testing.T) {
+	p := New(Config{Depth: 1, MaxShapes: 2, Workers: 1, Seed: 7})
+	defer p.Close()
+	p.GetGemm(2, 2, 2)
+	p.GetGemm(3, 3, 3)
+	p.GetGemm(2, 2, 2) // refresh (2,2,2): (3,3,3) is now LRU
+	p.GetGemm(4, 4, 4) // third shape: evicts (3,3,3)
+	p.mu.Lock()
+	_, has222 := p.buckets[shape{2, 2, 2}]
+	_, has333 := p.buckets[shape{3, 3, 3}]
+	_, has444 := p.buckets[shape{4, 4, 4}]
+	p.mu.Unlock()
+	if !has222 || has333 || !has444 {
+		t.Fatalf("buckets after eviction: 222=%v 333=%v 444=%v, want LRU (3,3,3) gone", has222, has333, has444)
+	}
+}
+
+// TestPoolConcurrentGet hammers the pool from many goroutines under the
+// race detector and validates every triplet.
+func TestPoolConcurrentGet(t *testing.T) {
+	p := New(Config{Depth: 2, Workers: 3, Seed: 9})
+	defer p.Close()
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m, k, n := 3+g%3, 4, 5
+			for i := 0; i < 10; i++ {
+				p0, p1 := p.GetGemm(m, k, n)
+				u := tensor.AddTo(p0.U, p1.U)
+				v := tensor.AddTo(p0.V, p1.V)
+				z := tensor.AddTo(p0.Z, p1.Z)
+				want := tensor.MulTo(u, v)
+				for j := range z.Data {
+					if d := math.Abs(float64(z.Data[j] - want.Data[j])); d > 1e-3 {
+						errs <- "invalid triplet under concurrency"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestSplitRoundTrip checks Pool.Split produces shares that reconstruct
+// the plaintext product via the Eq. 8 party computation.
+func TestSplitRoundTrip(t *testing.T) {
+	p := New(Config{Depth: 1, Workers: 1, Seed: 3})
+	defer p.Close()
+	r := p.rng
+	a := r.NewUniform(5, 4, -1, 1)
+	b := r.NewUniform(4, 6, -1, 1)
+	in0, in1 := p.Split(a, b)
+	// Reconstruct the secrets from the shares.
+	ra := tensor.AddTo(in0.A, in1.A)
+	rb := tensor.AddTo(in0.B, in1.B)
+	for i := range ra.Data {
+		if math.Abs(float64(ra.Data[i]-a.Data[i])) > 1e-5 {
+			t.Fatal("A shares do not reconstruct the secret")
+		}
+	}
+	for i := range rb.Data {
+		if math.Abs(float64(rb.Data[i]-b.Data[i])) > 1e-5 {
+			t.Fatal("B shares do not reconstruct the secret")
+		}
+	}
+	checkTriplet(t, in0.T, in1.T, 5, 4, 6)
+}
+
+// TestCloseThenGet checks a closed pool still serves (inline).
+func TestCloseThenGet(t *testing.T) {
+	p := New(Config{Workers: 1})
+	p.Close()
+	p0, p1 := p.GetGemm(3, 3, 3)
+	checkTriplet(t, p0, p1, 3, 3, 3)
+	p.Close() // idempotent
+}

@@ -240,23 +240,35 @@ func TestEmitWireBenchBaseline(t *testing.T) {
 	pipedMul := record(testing.Benchmark(func(b *testing.B) { benchRemoteMulThrottled(b, true) }))
 	serialInf := record(testing.Benchmark(func(b *testing.B) { benchInferRequest(b, false) }))
 	wireInf := record(testing.Benchmark(func(b *testing.B) { benchInferRequest(b, true) }))
+	conc1 := record(testing.Benchmark(func(b *testing.B) { benchConcurrentMul(b, 1) }))
+	conc8 := record(testing.Benchmark(func(b *testing.B) { benchConcurrentMul(b, 8) }))
+	// One concurrent op completes 8 requests, one single op completes 1.
+	scaling := float64(conc1.NsPerOp) * 8 / float64(conc8.NsPerOp)
 
 	baseline := map[string]any{
 		"description": "wire double pipeline baseline: throttled-link remote mul (ns/op) and steady-state inference request (allocs/op)",
 		"remote_mul_throttled": map[string]any{
-			"dim":             benchMulDim,
-			"chunk_rows":      32,
-			"throttle_bps":    int64(benchThrottleBps),
-			"serial":          serialMul,
-			"pipelined":       pipedMul,
+			"dim":                           benchMulDim,
+			"chunk_rows":                    32,
+			"throttle_bps":                  int64(benchThrottleBps),
+			"serial":                        serialMul,
+			"pipelined":                     pipedMul,
 			"speedup_serial_over_pipelined": float64(serialMul.NsPerOp) / float64(pipedMul.NsPerOp),
 		},
 		"infer_request": map[string]any{
-			"layers":     2,
-			"chunk_rows": 8,
-			"serial":     serialInf,
-			"wire":       wireInf,
+			"layers":                 2,
+			"chunk_rows":             8,
+			"serial":                 serialInf,
+			"wire":                   wireInf,
 			"alloc_reduction_factor": float64(serialInf.AllocsPerOp) / float64(max(wireInf.AllocsPerOp, 1)),
+		},
+		"concurrent_sessions": map[string]any{
+			"clients":               8,
+			"dim":                   32,
+			"client_write_delay_ms": benchClientDelay.Milliseconds(),
+			"single":                conc1,
+			"concurrent":            conc8,
+			"throughput_scaling":    scaling,
 		},
 	}
 	// The hard claims behind the optimization, enforced, not just logged:
@@ -269,6 +281,12 @@ func TestEmitWireBenchBaseline(t *testing.T) {
 	if wireInf.AllocsPerOp*10 > serialInf.AllocsPerOp {
 		t.Errorf("wire infer request allocs %d not 10x below serial %d",
 			wireInf.AllocsPerOp, serialInf.AllocsPerOp)
+	}
+	// The tentpole's claim: 8 concurrent clients must beat 3x the
+	// single-client request throughput through one multiplexed peer link.
+	if scaling < 3.0 {
+		t.Errorf("concurrent throughput scaling %.2fx below the 3x bar (single %d ns/op, 8 clients %d ns/op)",
+			scaling, conc1.NsPerOp, conc8.NsPerOp)
 	}
 	enc, err := json.MarshalIndent(baseline, "", "  ")
 	if err != nil {
@@ -314,5 +332,45 @@ func TestWireAllocsBaseline(t *testing.T) {
 		t.Errorf("wire infer request allocates %d/op, baseline %s allows %d", got, path, want)
 	} else {
 		t.Logf("wire infer request: %d allocs/op (baseline %d)", got, want)
+	}
+}
+
+// TestConcurrentScalingBaseline re-runs the multi-client throughput pair
+// and fails if 8 concurrent sessions no longer clear 3x the single-client
+// request throughput — the regression guard on the session-multiplexing
+// layer, gated on BENCH_WIRE_BASELINE exactly like TestWireAllocsBaseline.
+// The committed baseline must itself record a passing scaling figure, so
+// a regressed baseline can't be silently committed either.
+func TestConcurrentScalingBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_WIRE_BASELINE")
+	if path == "" {
+		t.Skip("BENCH_WIRE_BASELINE not set")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline struct {
+		ConcurrentSessions struct {
+			Clients           int     `json:"clients"`
+			ThroughputScaling float64 `json:"throughput_scaling"`
+		} `json:"concurrent_sessions"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if baseline.ConcurrentSessions.ThroughputScaling < 3.0 {
+		t.Fatalf("baseline %s records concurrent scaling %.2fx, below the 3x bar",
+			path, baseline.ConcurrentSessions.ThroughputScaling)
+	}
+	conc1 := testing.Benchmark(func(b *testing.B) { benchConcurrentMul(b, 1) })
+	conc8 := testing.Benchmark(func(b *testing.B) { benchConcurrentMul(b, 8) })
+	scaling := float64(conc1.NsPerOp()) * 8 / float64(conc8.NsPerOp())
+	if scaling < 3.0 {
+		t.Errorf("concurrent throughput scaling regressed to %.2fx (baseline %.2fx, bar 3x)",
+			scaling, baseline.ConcurrentSessions.ThroughputScaling)
+	} else {
+		t.Logf("concurrent throughput scaling: %.2fx (baseline %.2fx)",
+			scaling, baseline.ConcurrentSessions.ThroughputScaling)
 	}
 }

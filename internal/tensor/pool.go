@@ -93,6 +93,25 @@ func (p *Pool) GetZeroed(rows, cols int) *Matrix {
 	return m
 }
 
+// Preallocate seeds the pool with count retired buffers sized for
+// rows×cols matrices, so a serving process can pay its steady-state
+// allocations at startup instead of on the first requests — with N
+// concurrent sessions sharing one pool, the cold-start burst is N× the
+// single-session one. Shapes in the same capacity class share the seeded
+// buffers. No-ops in dry-run mode and on out-of-class sizes.
+func (p *Pool) Preallocate(rows, cols, count int) {
+	if rows <= 0 || cols <= 0 || !ComputeEnabled() {
+		return
+	}
+	c := poolClass(rows * cols)
+	if c >= maxPoolClass {
+		return
+	}
+	for i := 0; i < count; i++ {
+		p.classes[c].Put(&Matrix{Rows: rows, Cols: cols, Data: make([]float32, 1<<c)})
+	}
+}
+
 // Put retires m's backing store for reuse. m must not be used (nor any
 // view sharing its Data) after Put. Nil, shape-only, and foreign-capacity
 // matrices are dropped silently, so Put is safe on anything Get returned

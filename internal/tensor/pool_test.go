@@ -100,3 +100,24 @@ func TestPoolKernelsOverwriteRecycledGarbage(t *testing.T) {
 		t.Fatal("Gemm beta=0 into recycled buffer differs")
 	}
 }
+
+func TestPoolPreallocate(t *testing.T) {
+	p := NewPool()
+	p.Preallocate(16, 16, 4)
+	for i := 0; i < 4; i++ {
+		m := p.Get(12, 12) // 144 -> class 256, same as 16x16
+		if cap(m.Data) != 256 {
+			t.Fatalf("Get %d: cap = %d, want preallocated 256", i, cap(m.Data))
+		}
+	}
+	// sync.Pool may drop items across GC/scheduler moves, so all 4 Gets
+	// hitting isn't guaranteed — but at least one seeded buffer must be
+	// reusable or Preallocate isn't seeding the right class at all.
+	hits, _ := p.Stats()
+	if hits == 0 {
+		t.Fatal("no pool hits after Preallocate; seeded buffers not reusable")
+	}
+	// Degenerate sizes are no-ops, not panics.
+	p.Preallocate(0, 5, 3)
+	p.Preallocate(-1, 5, 3)
+}
