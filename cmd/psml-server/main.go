@@ -13,11 +13,15 @@
 // handshake. Neither process ever holds more than additive shares of
 // the client's data.
 //
-// Failure behavior: the peer dial retries with exponential backoff (so
-// start order doesn't matter), per-frame deadlines bound every protocol
-// step (so a client killed mid-request times out instead of wedging the
-// peer link), a failed session never takes the process down, and SIGINT/
-// SIGTERM drain into a graceful shutdown.
+// Failure behavior: the peer link is supervised — heartbeats detect a
+// dead peer within -peer-heartbeat × (-peer-miss-budget + 1), the link
+// reconnects with jittered exponential backoff (so start order doesn't
+// matter and a peer restart or fabric blip is survived), and in-flight
+// exchange frames are replayed after the resync handshake, so client
+// sessions see a link loss only as latency. Per-frame deadlines bound
+// every protocol step (so a client killed mid-request times out instead
+// of wedging the peer link), a failed session never takes the process
+// down, and SIGINT/SIGTERM drain into a graceful shutdown.
 package main
 
 import (
@@ -43,8 +47,10 @@ func main() {
 	maxSessions := flag.Int("max-sessions", mpc.DefaultMaxSessions, "max concurrent client sessions; further accepts are shed (closed immediately and counted on psml_sessions_shed_total)")
 	clientTimeout := flag.Duration("client-timeout", 30*time.Second, "per-frame deadline on client connections; also the session idle timeout (0 disables)")
 	peerTimeout := flag.Duration("peer-timeout", 10*time.Second, "per-frame deadline on the inter-server link (0 disables)")
-	dialAttempts := flag.Int("peer-dial-attempts", 10, "max peer dial attempts before giving up")
-	dialBackoff := flag.Duration("peer-dial-backoff", 100*time.Millisecond, "initial backoff between peer dial attempts (doubles, capped at 2s)")
+	peerHeartbeat := flag.Duration("peer-heartbeat", 500*time.Millisecond, "heartbeat interval on the inter-server link (0 disables heartbeats)")
+	peerMissBudget := flag.Int("peer-miss-budget", 3, "missed heartbeat intervals before the peer link is declared dead")
+	peerReconnectAttempts := flag.Int("peer-reconnect-attempts", 10, "max connect attempts per peer-link (re)establishment before giving up")
+	peerReconnectBackoff := flag.Duration("peer-reconnect-backoff", 100*time.Millisecond, "initial backoff between peer connect attempts (doubles with jitter, capped at 2s)")
 	wirePipeline := flag.Bool("wire-pipeline", false, "serve with the banded double pipeline on the peer link (both servers must agree, including -wire-chunk-rows)")
 	wireChunkRows := flag.Int("wire-chunk-rows", 0, "row-band height of the pipelined E exchange; 0 streams whole matrices (requires -wire-pipeline)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
@@ -76,51 +82,57 @@ func main() {
 	}
 
 	// Establish the inter-server link first (the paper's server1<->server2
-	// InfiniBand edge). The dialing side retries: starting the dialer
-	// before the listener is a supported launch order, not a crash.
-	var peer *comm.Conn
-	var err error
+	// InfiniBand edge), under supervision: connect runs again after every
+	// connection loss, the hello handshake re-verifies the peer's party on
+	// each incarnation, and unacknowledged frames are replayed after the
+	// resync. The listening side keeps its listener open for the life of
+	// the process so a restarted or disconnected peer can come back.
+	supCfg := comm.SupervisorConfig{
+		HeartbeatInterval: *peerHeartbeat,
+		MissBudget:        *peerMissBudget,
+		ReconnectAttempts: *peerReconnectAttempts,
+		ReconnectBase:     *peerReconnectBackoff,
+	}
+	if *peerHeartbeat <= 0 {
+		supCfg.HeartbeatInterval = -1 // 0 means "default" in the config; the flag's 0 means off
+	}
+	var connect func() (*comm.Conn, error)
 	if *peerListen != "" {
 		ln, err := comm.Listen(*peerListen)
 		if err != nil {
 			log.Fatalf("peer listen: %v", err)
 		}
-		unblock := context.AfterFunc(ctx, func() { ln.Close() })
+		// Closing the listener on shutdown unblocks a pending (re)accept.
+		context.AfterFunc(ctx, func() { ln.Close() })
 		log.Printf("party %d waiting for peer on %s", *party, *peerListen)
-		peer, err = comm.Accept(ln)
-		unblock()
-		if err != nil {
-			if ctx.Err() != nil {
-				log.Printf("party %d: shutdown before peer connected", *party)
-				return
+		connect = func() (*comm.Conn, error) {
+			c, err := comm.Accept(ln)
+			if err != nil {
+				return nil, err
 			}
-			log.Fatalf("peer accept: %v", err)
+			c.SetTimeouts(0, *peerTimeout)
+			return c, nil
 		}
-		ln.Close()
 	} else {
-		peer, err = comm.DialRetry(*peerDial, comm.RetryConfig{
-			Attempts:  *dialAttempts,
-			BaseDelay: *dialBackoff,
-		})
-		if err != nil {
-			log.Fatalf("peer dial: %v", err)
+		connect = func() (*comm.Conn, error) {
+			c, err := comm.Dial(*peerDial)
+			if err != nil {
+				return nil, err
+			}
+			c.SetTimeouts(0, *peerTimeout)
+			return c, nil
 		}
+	}
+	peer, err := mpc.SupervisePeer(*party, connect, supCfg)
+	if err != nil {
+		if ctx.Err() != nil {
+			log.Printf("party %d: shutdown before peer connected", *party)
+			return
+		}
+		log.Fatalf("peer link: %v", err)
 	}
 	defer peer.Close()
-
-	// The hello exchange bounds itself (and restores the conn's deadlines
-	// after), so a half-open peer can't hang startup.
-	if err := mpc.WriteHello(peer, *party); err != nil {
-		log.Fatalf("peer hello: %v", err)
-	}
-	peerParty, err := mpc.ReadHello(peer)
-	if err != nil {
-		log.Fatalf("peer hello: %v", err)
-	}
-	if peerParty == *party {
-		log.Fatalf("both servers claim party %d", *party)
-	}
-	log.Printf("party %d linked to peer (party %d)", *party, peerParty)
+	log.Printf("party %d linked to peer (party %d)", *party, 1-*party)
 
 	ln, err := comm.Listen(*listen)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 
 	"parsecureml/internal/dataset"
 	"parsecureml/internal/ml"
+	"parsecureml/internal/secureml"
 )
 
 func main() {
@@ -31,7 +32,16 @@ func main() {
 	tracePath := flag.String("trace", "", "write a chrome://tracing timeline of the run to this file")
 	savePath := flag.String("save", "", "write the securely trained model to this file")
 	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the modeled timeline")
+	checkpointDir := flag.String("checkpoint-dir", "", "write an epoch-granular checkpoint of the secure training state into this directory")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "checkpoint cadence in epochs (requires -checkpoint-dir; resume is bit-identical only at the same cadence)")
+	resume := flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir (starts fresh if none exists)")
+	dieAfterEpoch := flag.Int("die-after-epoch", 0, "crash-test hook: exit with code 3 right after writing the checkpoint for this epoch")
 	flag.Parse()
+
+	if *checkpointDir == "" && (*resume || *dieAfterEpoch > 0) {
+		fmt.Fprintln(os.Stderr, "-resume and -die-after-epoch require -checkpoint-dir")
+		os.Exit(1)
+	}
 
 	spec, err := dataset.ByName(*dsName)
 	if err != nil {
@@ -109,7 +119,48 @@ func main() {
 		*modelName, spec.Name, n, *batch, *epochs)
 	secure := fw.Secure(plain, loss)
 	secure.Prepare(xs, ys)
-	secure.TrainEpochs(*epochs, float32(*lr))
+	if *checkpointDir == "" {
+		secure.TrainEpochs(*epochs, float32(*lr))
+	} else {
+		if *resume {
+			path, _, ok, err := secureml.LatestCheckpoint(*checkpointDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if ok {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				info, err := secure.Restore(data)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "restore %s: %v\n", path, err)
+					os.Exit(1)
+				}
+				fmt.Printf("resumed from %s (epoch %d of %d, lr %g)\n", path, info.Epoch, *epochs, info.LR)
+			} else {
+				fmt.Printf("no checkpoint in %s; starting fresh\n", *checkpointDir)
+			}
+		}
+		sink := func(epoch int, data []byte) error {
+			path, err := secureml.WriteCheckpointFile(*checkpointDir, epoch, data)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("checkpoint: epoch %d -> %s\n", epoch, path)
+			if *dieAfterEpoch > 0 && epoch >= *dieAfterEpoch {
+				fmt.Fprintf(os.Stderr, "exiting after epoch %d checkpoint (-die-after-epoch %d)\n", epoch, *dieAfterEpoch)
+				os.Exit(3)
+			}
+			return nil
+		}
+		if err := secure.TrainEpochsCheckpointed(*epochs, float32(*lr), *checkpointEvery, sink); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	// Reveal the trained weights back into the plaintext architecture
 	// (the client's final model download).

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -54,10 +55,80 @@ type FaultConn struct {
 	// many bytes have been delivered. -1 disables.
 	FailReadAfter int64
 
+	// Frame-boundary drop state (see DropAfterFrames). The parser tracks
+	// the outgoing stream's u32-LE length prefixes across Write calls, so
+	// the cut always lands exactly between two frames regardless of how
+	// the writer fragments its writes.
+	dropArmed     bool
+	dropRemaining int
+	dropHdrFill   int
+	dropHdr       [4]byte
+	dropBodyLeft  int
+	dropped       bool
+
 	// Byte counters are atomic so a concurrent observer (a test
 	// assertion, a metrics scrape) can snapshot them while traffic moves.
 	written, read atomic.Int64
 	injected      atomic.Int64
+}
+
+// DropAfterFrames arms a hard connection loss at a frame boundary: after
+// n more complete length-prefixed frames have been written, the
+// underlying connection is closed — both directions die, as with a peer
+// crash or an RST — with the cut guaranteed to land between frames, not
+// inside one. This is the deterministic link-loss mode the supervised
+// link's chaos tests use: the receiver sees clean frames up to the cut,
+// so what is being exercised is reconnection and replay, not codec
+// resynchronization.
+//
+// Must be called before traffic moves (fault fields are unsynchronized,
+// like the rest of FaultConn); only the write direction is parsed, so
+// wrap the side whose outgoing stream should be cut.
+func (f *FaultConn) DropAfterFrames(n int) {
+	f.dropArmed = true
+	f.dropRemaining = n
+	f.dropHdrFill = 0
+	f.dropBodyLeft = 0
+	f.dropped = false
+}
+
+// dropAllowance consumes p against the frame parser and returns how many
+// bytes may still pass before the armed cut, and whether the cut is
+// reached within p.
+func (f *FaultConn) dropAllowance(p []byte) (allowed int, cut bool) {
+	for allowed < len(p) {
+		if f.dropRemaining <= 0 {
+			return allowed, true
+		}
+		if f.dropBodyLeft == 0 && f.dropHdrFill < 4 {
+			take := 4 - f.dropHdrFill
+			if take > len(p)-allowed {
+				take = len(p) - allowed
+			}
+			copy(f.dropHdr[f.dropHdrFill:], p[allowed:allowed+take])
+			f.dropHdrFill += take
+			allowed += take
+			if f.dropHdrFill == 4 {
+				f.dropBodyLeft = int(binary.LittleEndian.Uint32(f.dropHdr[:]))
+				if f.dropBodyLeft == 0 {
+					f.dropHdrFill = 0
+					f.dropRemaining--
+				}
+			}
+			continue
+		}
+		take := f.dropBodyLeft
+		if take > len(p)-allowed {
+			take = len(p) - allowed
+		}
+		f.dropBodyLeft -= take
+		allowed += take
+		if f.dropBodyLeft == 0 {
+			f.dropHdrFill = 0
+			f.dropRemaining--
+		}
+	}
+	return allowed, f.dropRemaining <= 0 && f.dropBodyLeft == 0 && f.dropHdrFill == 0
 }
 
 // FaultStats is a snapshot of a FaultConn's byte accounting.
@@ -85,6 +156,31 @@ func NewFaultConn(inner net.Conn) *FaultConn {
 
 // Write implements net.Conn, applying the configured write-side faults.
 func (f *FaultConn) Write(p []byte) (int, error) {
+	if f.dropArmed {
+		if f.dropped {
+			return 0, fmt.Errorf("comm: connection dropped at frame boundary: %w", ErrInjected)
+		}
+		allowed, cut := f.dropAllowance(p)
+		if cut {
+			n, err := f.writeFaulty(p[:allowed])
+			f.dropped = true
+			f.injected.Add(1)
+			f.Inner.Close()
+			if err != nil {
+				return n, err
+			}
+			if n < len(p) {
+				return n, fmt.Errorf("comm: connection dropped at frame boundary: %w", ErrInjected)
+			}
+			return n, nil
+		}
+	}
+	return f.writeFaulty(p)
+}
+
+// writeFaulty applies the byte-level write faults (delay, throttle,
+// fragmentation, corruption, byte budget) and forwards to Inner.
+func (f *FaultConn) writeFaulty(p []byte) (int, error) {
 	if f.WriteDelay > 0 {
 		time.Sleep(f.WriteDelay)
 	}

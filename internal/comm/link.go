@@ -204,5 +204,12 @@ func (r *DeltaReceiver) Receive(frame []byte) (*tensor.Matrix, error) {
 	return r.cur.Clone(), nil
 }
 
+// Reset drops the sender's base so its next Send ships a dense base
+// frame. Delta streams are fp32-history-dependent: two runs produce
+// bit-identical values only if their accumulated delta histories match,
+// so a checkpoint/restore boundary must rebase every stream on both
+// sides (pair with DeltaReceiver.Reset on the receiving end).
+func (s *DeltaSender) Reset() { s.prev, s.dryEpochs = nil, 0 }
+
 // Reset clears receiver state (e.g. when the sender restarts a stream).
 func (r *DeltaReceiver) Reset() { r.cur, r.base = nil, false }

@@ -306,6 +306,11 @@ type RetryConfig struct {
 	BaseDelay   time.Duration // backoff before the 2nd attempt, doubling after (default 50ms)
 	MaxDelay    time.Duration // backoff cap (default 2s)
 	DialTimeout time.Duration // per-attempt connect timeout (default 3s)
+	// Jitter is the ± fraction applied to every backoff sleep. Two
+	// servers restarted by the same supervisor otherwise retry in
+	// lockstep and hammer the peer listener at the same instants. 0
+	// selects 0.2; negative disables.
+	Jitter float64
 }
 
 func (c RetryConfig) withDefaults() RetryConfig {
@@ -321,20 +326,23 @@ func (c RetryConfig) withDefaults() RetryConfig {
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 3 * time.Second
 	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.2
+	}
 	return c
 }
 
-// DialRetry connects to a framed TCP peer, retrying with bounded
-// exponential backoff. This closes the startup race where one server
-// dials its peer before the peer's listener is up: transient refusals are
-// absorbed instead of being fatal.
+// DialRetry connects to a framed TCP peer, retrying with jittered
+// bounded exponential backoff. This closes the startup race where one
+// server dials its peer before the peer's listener is up: transient
+// refusals are absorbed instead of being fatal.
 func DialRetry(addr string, cfg RetryConfig) (*Conn, error) {
 	cfg = cfg.withDefaults()
 	delay := cfg.BaseDelay
 	var lastErr error
 	for attempt := 0; attempt < cfg.Attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(delay)
+			time.Sleep(jitterDuration(delay, cfg.Jitter))
 			delay *= 2
 			if delay > cfg.MaxDelay {
 				delay = cfg.MaxDelay

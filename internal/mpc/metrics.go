@@ -36,6 +36,10 @@ var metrics = struct {
 	// desynchronized after the stale-frame bound.
 	staleFrames *obs.Counter
 	desyncs     *obs.Counter
+
+	// Supervised peer link: heartbeat round-trip time, observed once per
+	// acknowledged heartbeat (SupervisePeer wires it in).
+	linkRTT *obs.Histogram
 }{
 	phaseTriplet:     obs.Default.Histogram(`psml_phase_seconds{phase="triplet_gen"}`, "Serving time per protocol phase (paper: offline, online, reconstruct, transfer)."),
 	phaseExchange:    obs.Default.Histogram(`psml_phase_seconds{phase="exchange"}`, "Serving time per protocol phase (paper: offline, online, reconstruct, transfer)."),
@@ -56,6 +60,8 @@ var metrics = struct {
 
 	staleFrames: obs.Default.Counter("psml_stale_frames_total", "Orphaned frames discarded by request-id tagging (peer link and client results)."),
 	desyncs:     obs.Default.Counter("psml_peer_desync_total", "Links declared desynchronized after the stale-frame bound."),
+
+	linkRTT: obs.Default.Histogram("psml_link_heartbeat_rtt_seconds", "Supervised peer-link heartbeat round-trip time."),
 }
 
 func init() {
@@ -103,5 +109,25 @@ func init() {
 	})
 	obs.Default.FuncCounter("psml_mux_overflows_total", "Mux sessions killed by inbox overflow.", func() float64 {
 		return float64(comm.MuxTotals().Overflows)
+	})
+	// Supervised peer link: reconnect/replay accounting from the comm
+	// layer's package totals (comm must not depend on obs).
+	obs.Default.FuncCounter("psml_link_reconnects_total", "Peer-link connections re-established by the supervisor after a failure.", func() float64 {
+		return float64(comm.SupervisorTotals().Reconnects)
+	})
+	obs.Default.FuncCounter("psml_link_failures_total", "Peer-link connections declared dead (read/write error or heartbeat expiry).", func() float64 {
+		return float64(comm.SupervisorTotals().LinkFailures)
+	})
+	obs.Default.FuncCounter("psml_exchange_replays_total", "Buffered exchange frames replayed to the peer after a link resync.", func() float64 {
+		return float64(comm.SupervisorTotals().ReplayedFrames)
+	})
+	obs.Default.FuncCounter("psml_exchange_replay_discards_total", "In-flight exchange frames discarded at resync because the peer already had them.", func() float64 {
+		return float64(comm.SupervisorTotals().ResyncDiscards)
+	})
+	obs.Default.FuncCounter("psml_link_shed_frames_total", "Buffered frames shed because a supervised link died for good.", func() float64 {
+		return float64(comm.SupervisorTotals().ShedFrames)
+	})
+	obs.Default.FuncGauge("psml_link_buffered_frames", "Unacknowledged frames currently buffered for replay on supervised links.", func() float64 {
+		return float64(comm.SupervisorTotals().BufferedFrames)
 	})
 }

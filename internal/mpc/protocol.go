@@ -199,6 +199,15 @@ func (d *Deployment) splitWithMask(secret, mask *tensor.Matrix, deps ...*simtime
 // server 0).
 func (d *Deployment) MaskPool() *rng.Pool { return d.mask }
 
+// ResetDeltaStreams rebases both servers' compressed E/F delta streams
+// (see Server.ResetStreams). Called at every checkpoint boundary so a
+// run resumed from the checkpoint sees the same stream history — a dense
+// base next epoch — as the run that wrote it.
+func (d *Deployment) ResetDeltaStreams() {
+	d.S0.ResetStreams()
+	d.S1.ResetStreams()
+}
+
 // SecureMatMul runs the complete protocol for C = A×B: offline split +
 // triplet on the client, reconstruct + online multiplication on the
 // servers, merge on the client. stream names the multiplication for the

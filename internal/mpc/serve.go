@@ -395,12 +395,26 @@ const maxAcceptFailures = 5
 // the listener AND every tracked client connection, so in-flight
 // sessions unblock immediately instead of running until ClientTimeout
 // (or forever when it is 0).
-func ServeClients(ctx context.Context, party int, ln net.Listener, peer *comm.Conn, cfg ServeConfig) error {
+//
+// peer is any Framer: a *comm.Conn for the classic single-connection
+// deployment, or a *comm.SupervisedLink (see SupervisePeer) when the
+// link should survive connection loss — sessions then see a reconnect
+// only as latency. Note PeerTimeout still bounds each session's peer
+// reads via the mux, so it must comfortably exceed the supervisor's
+// worst-case detect+reconnect+resync time.
+func ServeClients(ctx context.Context, party int, ln net.Listener, peer comm.Framer, cfg ServeConfig) error {
 	if cfg.PeerTimeout > 0 {
 		// The peer's read side belongs to the demux reader, which must
 		// idle freely between requests: per-session reads are bounded by
-		// the mux's ReadTimeout instead of a connection deadline.
-		peer.SetTimeouts(0, cfg.PeerTimeout)
+		// the mux's ReadTimeout instead of a connection deadline. A
+		// supervised link has no deadline surface — its reads block until
+		// delivery or permanent link death, which preserves the same
+		// contract.
+		if d, ok := peer.(interface {
+			SetTimeouts(read, write time.Duration)
+		}); ok {
+			d.SetTimeouts(0, cfg.PeerTimeout)
+		}
 	}
 	mux := comm.NewMux(peer, comm.MuxConfig{ReadTimeout: cfg.PeerTimeout})
 	maxSessions := cfg.MaxSessions

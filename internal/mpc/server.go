@@ -80,6 +80,20 @@ func (s *Server) receiver(stream string) *comm.DeltaReceiver {
 	return dr
 }
 
+// ResetStreams rebases every compressed delta stream: each sender's next
+// Send ships a dense base frame and each receiver discards its
+// accumulated state. Delta values are fp32-history-dependent, so this is
+// the bit-determinism barrier a checkpoint needs — a restored run and
+// the run that wrote the checkpoint diverge unless both rebase here.
+func (s *Server) ResetStreams() {
+	for _, ds := range s.senders {
+		ds.Reset()
+	}
+	for _, dr := range s.receivers {
+		dr.Reset()
+	}
+}
+
 // sendShare transmits a masked share to the peer over the stream's
 // compressed channel; the peer decodes immediately (deterministic
 // simulation). Returns the reconstructed-by-peer matrix and the arrival

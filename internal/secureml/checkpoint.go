@@ -1,0 +1,380 @@
+package secureml
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"parsecureml/internal/obs"
+	"parsecureml/internal/tensor"
+)
+
+// Epoch-granular checkpoint/restore. A checkpoint captures everything
+// that distinguishes a trained model from a freshly Prepared one: the
+// weight shares of every layer, the epoch count, the learning rate, and
+// the cursors of both deterministic RNG pools (the client's share/
+// triplet pool and the deployment's re-sharing mask pool). Gradient
+// accumulators are consumed within each batch, so between epochs they
+// are empty and need no persistence.
+//
+// Restore targets a model rebuilt the same way as the original — same
+// architecture, same Prepare inputs — and overwrites its mutable state.
+// Combined with the delta-stream rebase both Checkpoint and Restore
+// perform, a resumed run is bit-identical to an uninterrupted run that
+// checkpoints at the same cadence (see TrainEpochsCheckpointed).
+//
+// Wire format (version 1), all integers little-endian:
+//
+//	magic "PSCK" | version u16 | name u16+bytes | loss u8
+//	epochs u32 | lr f32bits | batch u32 | batches u32
+//	mask pool seed u64 + fills u32 | client pool seed u64 + fills u32
+//	layer count u16, then per layer:
+//	  kind u8 | param count u8 | per param: s0, s1 (tensor codec)
+var checkpointMagic = [4]byte{'P', 'S', 'C', 'K'}
+
+const (
+	checkpointVersion = 1
+
+	// ckptMaxName and ckptMaxParams bound the decoder's allocations
+	// before it trusts anything in the buffer.
+	ckptMaxName   = 4096
+	ckptMaxParams = 8
+)
+
+// Layer kind tags in the checkpoint stream.
+const (
+	ckptDense = 1
+	ckptConv  = 2
+	ckptRNN   = 3
+	ckptPool  = 4
+)
+
+// ErrCheckpoint wraps every checkpoint decode/validation failure.
+var ErrCheckpoint = errors.New("secureml: bad checkpoint")
+
+var checkpointMetrics = struct {
+	write *obs.Histogram
+}{
+	write: obs.Default.Histogram("psml_checkpoint_write_seconds",
+		"Time to encode and durably write one training checkpoint."),
+}
+
+// ckptLayer is one layer's decoded state: its kind tag and the share
+// pairs of each parameter, in declaration order.
+type ckptLayer struct {
+	kind   byte
+	params [][2]*tensor.Matrix
+}
+
+// checkpointState is a fully decoded checkpoint, staged before any of it
+// is applied so a corrupt tail can never leave a model half-restored.
+type checkpointState struct {
+	name       string
+	loss       LossKind
+	epochs     int
+	lr         float32
+	batch      int
+	batches    int
+	maskSeed   uint64
+	maskFills  uint32
+	clientSeed uint64
+	clientClk  uint32
+	layers     []ckptLayer
+}
+
+// RestoreInfo reports what a successful Restore applied.
+type RestoreInfo struct {
+	Epoch int     // epochs completed when the checkpoint was taken
+	LR    float32 // learning rate recorded by the writer
+}
+
+// layerParams returns the checkpoint kind tag and the parameter shares
+// of one layer (nil params for parameterless layers).
+func layerParams(l secureLayer) (byte, []*shared) {
+	switch sl := l.(type) {
+	case *secureDense:
+		return ckptDense, []*shared{&sl.w, &sl.b}
+	case *secureConv:
+		return ckptConv, []*shared{&sl.k, &sl.b}
+	case *secureRNN:
+		return ckptRNN, []*shared{&sl.wx, &sl.wh, &sl.b}
+	case *securePool:
+		return ckptPool, nil
+	default:
+		panic(fmt.Sprintf("secureml: checkpoint: unsupported layer type %T", l))
+	}
+}
+
+// Checkpoint serializes the model's mutable training state. lr is
+// recorded for the resuming process (the codec's "optimizer state" —
+// plain SGD has no other). The compressed E/F delta streams are rebased
+// as a side effect, which is what makes the checkpoint a valid
+// resumption point for bit-identical training (see the package comment).
+func (m *Model) Checkpoint(lr float32) []byte {
+	if !m.prepared {
+		panic("secureml: Checkpoint before Prepare")
+	}
+	m.d.ResetDeltaStreams()
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, checkpointMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, checkpointVersion)
+	name := m.Name
+	if len(name) > ckptMaxName {
+		name = name[:ckptMaxName]
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = append(buf, byte(m.loss))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.epochsDone))
+	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(lr))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.batch))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.batches))
+	seed, fills := m.d.MaskPool().Cursor()
+	buf = binary.LittleEndian.AppendUint64(buf, seed)
+	buf = binary.LittleEndian.AppendUint32(buf, fills)
+	seed, fills = m.d.Client.Pool.Cursor()
+	buf = binary.LittleEndian.AppendUint64(buf, seed)
+	buf = binary.LittleEndian.AppendUint32(buf, fills)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.layers)))
+	for _, l := range m.layers {
+		kind, params := layerParams(l)
+		buf = append(buf, kind, byte(len(params)))
+		for _, p := range params {
+			buf = tensor.EncodeMatrix(buf, p.s0)
+			buf = tensor.EncodeMatrix(buf, p.s1)
+		}
+	}
+	return buf
+}
+
+// decodeCheckpoint parses and validates a checkpoint buffer without
+// touching any model. Hostile input — truncated, corrupt, or version-
+// skewed — errors; it never panics, and allocations are bounded by the
+// buffer length (matrix payloads are length-checked before allocation).
+func decodeCheckpoint(data []byte) (*checkpointState, error) {
+	off := 0
+	need := func(n int) error {
+		if len(data)-off < n {
+			return fmt.Errorf("%w: truncated at offset %d (need %d bytes)", ErrCheckpoint, off, n)
+		}
+		return nil
+	}
+	if err := need(len(checkpointMagic) + 2); err != nil {
+		return nil, err
+	}
+	if [4]byte(data[:4]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCheckpoint)
+	}
+	off = 4
+	version := binary.LittleEndian.Uint16(data[off:])
+	off += 2
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("%w: version %d (this build reads %d)", ErrCheckpoint, version, checkpointVersion)
+	}
+	if err := need(2); err != nil {
+		return nil, err
+	}
+	nameLen := int(binary.LittleEndian.Uint16(data[off:]))
+	off += 2
+	if nameLen > ckptMaxName {
+		return nil, fmt.Errorf("%w: name of %d bytes", ErrCheckpoint, nameLen)
+	}
+	if err := need(nameLen); err != nil {
+		return nil, err
+	}
+	st := &checkpointState{name: string(data[off : off+nameLen])}
+	off += nameLen
+	if err := need(1 + 4 + 4 + 4 + 4 + 12 + 12 + 2); err != nil {
+		return nil, err
+	}
+	st.loss = LossKind(data[off])
+	off++
+	if st.loss != MSELoss && st.loss != HingeLoss {
+		return nil, fmt.Errorf("%w: unknown loss kind %d", ErrCheckpoint, st.loss)
+	}
+	st.epochs = int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	st.lr = math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	st.batch = int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	st.batches = int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	st.maskSeed = binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	st.maskFills = binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	st.clientSeed = binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	st.clientClk = binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	layerCount := int(binary.LittleEndian.Uint16(data[off:]))
+	off += 2
+	for li := 0; li < layerCount; li++ {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		kind, nParams := data[off], int(data[off+1])
+		off += 2
+		if kind < ckptDense || kind > ckptPool {
+			return nil, fmt.Errorf("%w: layer %d has unknown kind %d", ErrCheckpoint, li, kind)
+		}
+		if nParams > ckptMaxParams {
+			return nil, fmt.Errorf("%w: layer %d claims %d params", ErrCheckpoint, li, nParams)
+		}
+		cl := ckptLayer{kind: kind}
+		for pi := 0; pi < nParams; pi++ {
+			var pair [2]*tensor.Matrix
+			for side := 0; side < 2; side++ {
+				m, n, err := tensor.DecodeMatrix(data[off:])
+				if err != nil {
+					return nil, fmt.Errorf("%w: layer %d param %d share %d: %v", ErrCheckpoint, li, pi, side, err)
+				}
+				pair[side] = m
+				off += n
+			}
+			cl.params = append(cl.params, pair)
+		}
+		st.layers = append(st.layers, cl)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCheckpoint, len(data)-off)
+	}
+	return st, nil
+}
+
+// Restore overwrites the model's mutable training state from a
+// checkpoint written by a structurally identical model. The model must
+// already be Prepared (Prepare is deterministic, so the rebuilt shares'
+// sites match the original's). Validation is all-or-nothing: any
+// mismatch errors before a single weight is touched.
+func (m *Model) Restore(data []byte) (RestoreInfo, error) {
+	if !m.prepared {
+		return RestoreInfo{}, fmt.Errorf("%w: Restore before Prepare", ErrCheckpoint)
+	}
+	st, err := decodeCheckpoint(data)
+	if err != nil {
+		return RestoreInfo{}, err
+	}
+	if st.name != m.Name {
+		return RestoreInfo{}, fmt.Errorf("%w: checkpoint is for model %q, this is %q", ErrCheckpoint, st.name, m.Name)
+	}
+	if st.loss != m.loss {
+		return RestoreInfo{}, fmt.Errorf("%w: loss kind %d, model uses %d", ErrCheckpoint, st.loss, m.loss)
+	}
+	if st.batch != m.batch || st.batches != m.batches {
+		return RestoreInfo{}, fmt.Errorf("%w: prepared for %d batches of %d, checkpoint has %d of %d",
+			ErrCheckpoint, m.batches, m.batch, st.batches, st.batch)
+	}
+	if len(st.layers) != len(m.layers) {
+		return RestoreInfo{}, fmt.Errorf("%w: %d layers, model has %d", ErrCheckpoint, len(st.layers), len(m.layers))
+	}
+	// Validate every layer before applying anything.
+	for i, l := range m.layers {
+		kind, params := layerParams(l)
+		cl := st.layers[i]
+		if cl.kind != kind {
+			return RestoreInfo{}, fmt.Errorf("%w: layer %d kind %d, model has %d", ErrCheckpoint, i, cl.kind, kind)
+		}
+		if len(cl.params) != len(params) {
+			return RestoreInfo{}, fmt.Errorf("%w: layer %d has %d params, model has %d", ErrCheckpoint, i, len(cl.params), len(params))
+		}
+		for pi, p := range params {
+			for side, got := range []*tensor.Matrix{cl.params[pi][0], cl.params[pi][1]} {
+				want := p.s0
+				if side == 1 {
+					want = p.s1
+				}
+				if got.Rows != want.Rows || got.Cols != want.Cols {
+					return RestoreInfo{}, fmt.Errorf("%w: layer %d param %d share %d is %dx%d, model wants %dx%d",
+						ErrCheckpoint, i, pi, side, got.Rows, got.Cols, want.Rows, want.Cols)
+				}
+			}
+		}
+	}
+	for i, l := range m.layers {
+		_, params := layerParams(l)
+		for pi, p := range params {
+			p.s0.CopyFrom(st.layers[i].params[pi][0])
+			p.s1.CopyFrom(st.layers[i].params[pi][1])
+		}
+	}
+	m.d.MaskPool().SetCursor(st.maskSeed, st.maskFills)
+	m.d.Client.Pool.SetCursor(st.clientSeed, st.clientClk)
+	// The writer rebased its delta streams at this checkpoint; mirror it
+	// so both runs ship a dense base next epoch.
+	m.d.ResetDeltaStreams()
+	m.epochsDone = st.epochs
+	return RestoreInfo{Epoch: st.epochs, LR: st.lr}, nil
+}
+
+// checkpointFileName is the on-disk naming scheme LatestCheckpoint scans
+// for; the zero-padded epoch makes lexical and numeric order agree.
+func checkpointFileName(epoch int) string {
+	return fmt.Sprintf("epoch-%06d.ckpt", epoch)
+}
+
+// WriteCheckpointFile durably writes one checkpoint into dir as
+// epoch-NNNNNN.ckpt: temp file, fsync, rename — a crash mid-write never
+// leaves a truncated .ckpt for LatestCheckpoint to trip over. The write
+// is timed on psml_checkpoint_write_seconds.
+func WriteCheckpointFile(dir string, epoch int, data []byte) (path string, err error) {
+	defer checkpointMetrics.write.Start().Stop()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, checkpointFileName(epoch))
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// LatestCheckpoint returns the path and epoch of the newest checkpoint
+// in dir, or ok=false when none exist (a missing directory counts as
+// empty, so -resume on a first run starts from scratch).
+func LatestCheckpoint(dir string) (path string, epoch int, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return "", 0, false, nil
+	}
+	if err != nil {
+		return "", 0, false, err
+	}
+	var names []string
+	for _, e := range entries {
+		var n int
+		if !e.IsDir() {
+			if _, err := fmt.Sscanf(e.Name(), "epoch-%d.ckpt", &n); err == nil {
+				names = append(names, e.Name())
+			}
+		}
+	}
+	if len(names) == 0 {
+		return "", 0, false, nil
+	}
+	sort.Strings(names)
+	last := names[len(names)-1]
+	fmt.Sscanf(last, "epoch-%d.ckpt", &epoch)
+	return filepath.Join(dir, last), epoch, true, nil
+}

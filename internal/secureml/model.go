@@ -55,6 +55,10 @@ type Model struct {
 	offlineSplitEnd float64 // makespan after the per-batch input splits
 	offlineEnd      float64
 	prepared        bool
+
+	// epochsDone counts completed training epochs across TrainEpochs and
+	// TrainEpochsCheckpointed calls; Restore sets it from a checkpoint.
+	epochsDone int
 }
 
 // FromPlain builds the secure counterpart of a plaintext model: the
@@ -190,24 +194,69 @@ func (m *Model) lossGrad(b int, pred shared) shared {
 	}
 }
 
-// TrainEpochs runs secure SGD for the prepared batches.
+// trainOneEpoch runs one full pass of secure SGD over the prepared
+// batches. Gradient accumulators are consumed by update() every batch,
+// so between epochs the only mutable training state is the weight
+// shares plus the RNG cursors — exactly what a checkpoint captures.
+func (m *Model) trainOneEpoch(lr float32) {
+	for b := 0; b < m.batches; b++ {
+		tag := fmt.Sprintf("b%d", b)
+		pred := m.forwardBatch(b)
+		grad := m.lossGrad(b, pred)
+		for i := len(m.layers) - 1; i >= 0; i-- {
+			grad = m.layers[i].backward(m, tag, grad)
+		}
+		for _, l := range m.layers {
+			l.update(m, lr)
+		}
+	}
+}
+
+// TrainEpochs runs secure SGD for the prepared batches. Epochs are
+// relative: each call trains `epochs` more on top of whatever ran (or
+// was restored) before.
 func (m *Model) TrainEpochs(epochs int, lr float32) {
 	if !m.prepared {
 		panic("secureml: TrainEpochs before Prepare")
 	}
 	for e := 0; e < epochs; e++ {
-		for b := 0; b < m.batches; b++ {
-			tag := fmt.Sprintf("b%d", b)
-			pred := m.forwardBatch(b)
-			grad := m.lossGrad(b, pred)
-			for i := len(m.layers) - 1; i >= 0; i-- {
-				grad = m.layers[i].backward(m, tag, grad)
-			}
-			for _, l := range m.layers {
-				l.update(m, lr)
+		m.trainOneEpoch(lr)
+		m.epochsDone++
+	}
+}
+
+// EpochsDone reports how many epochs the model has completed, including
+// epochs inherited through Restore.
+func (m *Model) EpochsDone() int { return m.epochsDone }
+
+// TrainEpochsCheckpointed trains until `total` epochs have completed —
+// absolute, so a model restored at epoch k trains total−k more — and
+// hands a checkpoint to sink every `every` epochs (and always at
+// `total`). A sink error stops training and is returned; the epochs
+// before it remain applied.
+//
+// Checkpoint cadence affects bit-exactness, not just durability: every
+// checkpoint rebases the compressed E/F delta streams, which changes
+// fp32 rounding downstream. Two runs match bit-for-bit only if they
+// checkpoint at the same epochs — compare a resumed run against an
+// uninterrupted run with the same `every`, not against TrainEpochs.
+func (m *Model) TrainEpochsCheckpointed(total int, lr float32, every int, sink func(epoch int, data []byte) error) error {
+	if !m.prepared {
+		panic("secureml: TrainEpochsCheckpointed before Prepare")
+	}
+	if every <= 0 {
+		every = 1
+	}
+	for m.epochsDone < total {
+		m.trainOneEpoch(lr)
+		m.epochsDone++
+		if sink != nil && (m.epochsDone%every == 0 || m.epochsDone == total) {
+			if err := sink(m.epochsDone, m.Checkpoint(lr)); err != nil {
+				return err
 			}
 		}
 	}
+	return nil
 }
 
 // InferBatches runs forward passes only over the prepared batches (the
