@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"parsecureml/internal/comm"
+	"parsecureml/internal/hw"
 	"parsecureml/internal/mpc"
 	"parsecureml/internal/obs"
 )
@@ -53,6 +54,9 @@ func main() {
 	peerReconnectBackoff := flag.Duration("peer-reconnect-backoff", 100*time.Millisecond, "initial backoff between peer connect attempts (doubles with jitter, capped at 2s)")
 	wirePipeline := flag.Bool("wire-pipeline", false, "serve with the banded double pipeline on the peer link (both servers must agree, including -wire-chunk-rows)")
 	wireChunkRows := flag.Int("wire-chunk-rows", 0, "row-band height of the pipelined E exchange; 0 streams whole matrices (requires -wire-pipeline)")
+	batchWindow := flag.Duration("batch-window", 0, "coalesce same-shape requests arriving within this window into one stacked peer exchange (0 disables unless -planner; both servers must agree)")
+	batchMaxRows := flag.Int("batch-max-rows", 0, "cap on a batch's stacked E rows; reaching it dispatches immediately (0 selects the default; requires batching)")
+	planner := flag.Bool("planner", false, "drive the batch window and band height from the hw cost models plus measured exchange costs instead of static values (enables batching)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
@@ -64,6 +68,9 @@ func main() {
 	}
 	if *wireChunkRows != 0 && !*wirePipeline {
 		log.Fatalf("-wire-chunk-rows requires -wire-pipeline")
+	}
+	if *batchMaxRows != 0 && *batchWindow <= 0 && !*planner {
+		log.Fatalf("-batch-max-rows requires -batch-window or -planner")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -147,6 +154,15 @@ func main() {
 	if *wirePipeline {
 		cfg.Wire = &mpc.WireConfig{ChunkRows: *wireChunkRows}
 		log.Printf("party %d: wire double pipeline enabled (chunk rows %d)", *party, *wireChunkRows)
+	}
+	if *batchWindow > 0 || *planner {
+		cfg.Batch = &mpc.BatchConfig{Window: *batchWindow, MaxRows: *batchMaxRows}
+		if *planner {
+			cfg.Batch.Planner = mpc.NewPlanner(hw.Paper())
+			log.Printf("party %d: cross-session batching enabled (planner-driven window)", *party)
+		} else {
+			log.Printf("party %d: cross-session batching enabled (window %v)", *party, *batchWindow)
+		}
 	}
 	fmt.Printf("psml-server party %d serving clients on %s\n", *party, *listen)
 	err = mpc.ServeClients(ctx, *party, ln, peer, cfg)

@@ -102,6 +102,10 @@ var (
 	muxStaleFrames    atomic.Int64 // shed: tombstoned ids, unknown CLOSEs
 	muxEvictedFrames  atomic.Int64 // pending buffer evictions
 	muxOverflows      atomic.Int64 // sessions killed by inbox overflow
+	muxFramesIn       atomic.Int64 // frames the demux reader routed
+	muxFramesOut      atomic.Int64 // frames the link writer put on the wire
+	muxBytesIn        atomic.Int64 // routed frame bytes, headers included
+	muxBytesOut       atomic.Int64 // written frame bytes, headers included
 )
 
 // MuxStats is a snapshot of process-wide mux accounting.
@@ -112,6 +116,10 @@ type MuxStats struct {
 	StaleFrames    int64 // frames shed (tombstoned or unroutable)
 	EvictedFrames  int64 // pending frames evicted under pressure
 	Overflows      int64 // sessions killed by inbox overflow
+	FramesIn       int64 // frames routed off peer links (data + control)
+	FramesOut      int64 // frames written to peer links (data + control)
+	BytesIn        int64 // bytes routed off peer links, mux headers included
+	BytesOut       int64 // bytes written to peer links, mux headers included
 }
 
 // MuxTotals returns process-wide mux accounting across every Mux.
@@ -123,6 +131,10 @@ func MuxTotals() MuxStats {
 		StaleFrames:    muxStaleFrames.Load(),
 		EvictedFrames:  muxEvictedFrames.Load(),
 		Overflows:      muxOverflows.Load(),
+		FramesIn:       muxFramesIn.Load(),
+		FramesOut:      muxFramesOut.Load(),
+		BytesIn:        muxBytesIn.Load(),
+		BytesOut:       muxBytesOut.Load(),
 	}
 }
 
@@ -427,6 +439,8 @@ func (m *Mux) route(frame []byte) bool {
 		m.fail(err)
 		return false
 	}
+	muxFramesIn.Add(1)
+	muxBytesIn.Add(int64(len(frame)))
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -507,6 +521,10 @@ func (m *Mux) writeLoop() {
 			f = append(f, w.hdr...)
 			f = append(f, w.payload...)
 			err = m.c.WriteFrame(f)
+		}
+		if err == nil {
+			muxFramesOut.Add(1)
+			muxBytesOut.Add(int64(len(w.hdr) + len(w.payload)))
 		}
 		if w.ack != nil {
 			select {

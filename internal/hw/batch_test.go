@@ -1,0 +1,58 @@
+package hw
+
+import "testing"
+
+// TestBatchCrossoverQueries pins the cost-model side of cross-session
+// batching: the fixed term grows with frame count and link latency (it is
+// what coalescing amortizes), and the band-height query stays in range and
+// widens when the link gets slower relative to compute.
+func TestBatchCrossoverQueries(t *testing.T) {
+	p := Paper()
+
+	if got := MulExchangeBytes(32, 16, 8); got != 4*(32*16+16*8) {
+		t.Fatalf("MulExchangeBytes(32,16,8) = %d", got)
+	}
+
+	f1, f4 := p.ExchangeFixedCost(1), p.ExchangeFixedCost(4)
+	if f1 <= 0 || f4 != 4*f1 {
+		t.Fatalf("fixed cost not linear in frames: %g vs %g", f1, f4)
+	}
+	if got := p.ExchangeFixedCost(0); got != f1 {
+		t.Fatalf("zero frames should clamp to one: %g vs %g", got, f1)
+	}
+
+	if w := p.BatchWindow(); w != p.ExchangeFixedCost(2) {
+		t.Fatalf("BatchWindow %g, want the two-frame fixed cost %g", w, p.ExchangeFixedCost(2))
+	}
+	slow := SlowNet()
+	if slow.BatchWindow() <= p.BatchWindow() {
+		t.Fatalf("higher-latency fabric should raise the batch window: %g vs %g",
+			slow.BatchWindow(), p.BatchWindow())
+	}
+
+	xfer := p.ExchangeTransferTime(256, 256, 256)
+	if xfer <= 0 {
+		t.Fatalf("transfer time %g", xfer)
+	}
+	if big := p.ExchangeTransferTime(512, 256, 256); big <= xfer {
+		t.Fatalf("transfer time should grow with payload: %g vs %g", big, xfer)
+	}
+
+	for _, tc := range []struct{ rows, k, n int }{
+		{1, 64, 64}, {4096, 64, 64}, {4096, 8, 2}, {4096, 512, 512},
+	} {
+		band := p.BatchBandRows(tc.rows, tc.k, tc.n)
+		if band < 1 || band > tc.rows {
+			t.Fatalf("BatchBandRows(%d,%d,%d) = %d out of range", tc.rows, tc.k, tc.n, band)
+		}
+	}
+	// A fabric whose transfer outruns compute by a wide margin should
+	// stream whole matrices; a slow fabric with heavy compute should band.
+	if band := p.BatchBandRows(4096, 8, 2); band != 4096 {
+		t.Fatalf("cheap GEMM should select whole-matrix bands, got %d", band)
+	}
+	sb := slow.BatchBandRows(4096, 512, 512)
+	if sb >= 4096 {
+		t.Fatalf("compute-heavy stacked exchange on a slow fabric should band, got %d", sb)
+	}
+}

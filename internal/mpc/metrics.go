@@ -24,7 +24,23 @@ var metrics = struct {
 
 	// Whole-request latency per serving path.
 	reqSerial, reqWire           *obs.Histogram
+	reqBatched                   *obs.Histogram
 	reqInferSerial, reqInferWire *obs.Histogram
+
+	// Cross-session batching (batch.go): batches executed, requests they
+	// carried, requests that fell back to the individual path, members the
+	// peer dropped from a proposal, collector hold time, and stacked
+	// exchange time.
+	batches        *obs.Counter
+	batchRequests  *obs.Counter
+	batchFallbacks *obs.Counter
+	batchDropped   *obs.Counter
+	batchWait      *obs.Histogram
+	batchExec      *obs.Histogram
+
+	// Serving-loop scratch buffers released at request boundaries after
+	// outgrowing the high-water cap (see shrinkScratch).
+	bufShrinks *obs.Counter
 
 	requests, requestErrors *obs.Counter
 	sessions, sessionErrors *obs.Counter
@@ -48,8 +64,18 @@ var metrics = struct {
 
 	reqSerial:      obs.Default.Histogram(`psml_request_seconds{path="mul_serial"}`, "Whole-request serving latency per path."),
 	reqWire:        obs.Default.Histogram(`psml_request_seconds{path="mul_wire"}`, "Whole-request serving latency per path."),
+	reqBatched:     obs.Default.Histogram(`psml_request_seconds{path="mul_batched"}`, "Whole-request serving latency per path."),
 	reqInferSerial: obs.Default.Histogram(`psml_request_seconds{path="infer_serial"}`, "Whole-request serving latency per path."),
 	reqInferWire:   obs.Default.Histogram(`psml_request_seconds{path="infer_wire"}`, "Whole-request serving latency per path."),
+
+	batches:        obs.Default.Counter("psml_batch_batches_total", "Cross-session batches executed as stacked exchanges."),
+	batchRequests:  obs.Default.Counter("psml_batch_requests_total", "Requests served inside cross-session batches."),
+	batchFallbacks: obs.Default.Counter("psml_batch_fallbacks_total", "Requests offered to the batcher that fell back to the individual path."),
+	batchDropped:   obs.Default.Counter("psml_batch_dropped_members_total", "Proposed batch members the peer dropped (their half never arrived in time)."),
+	batchWait:      obs.Default.Histogram("psml_batch_wait_seconds", "Collector hold time from a batch's first request to dispatch."),
+	batchExec:      obs.Default.Histogram("psml_batch_exec_seconds", "Stacked batch exchange execution time."),
+
+	bufShrinks: obs.Default.Counter("psml_buf_shrinks_total", "Serving-loop scratch buffers released after exceeding the high-water cap."),
 
 	requests:       obs.Default.Counter("psml_requests_total", "Requests served (all paths)."),
 	requestErrors:  obs.Default.Counter("psml_request_errors_total", "Requests that failed mid-protocol."),
@@ -109,6 +135,20 @@ func init() {
 	})
 	obs.Default.FuncCounter("psml_mux_overflows_total", "Mux sessions killed by inbox overflow.", func() float64 {
 		return float64(comm.MuxTotals().Overflows)
+	})
+	// Mux frame accounting: what batching amortizes. Fewer frames out per
+	// served request is the direct signature of coalesced exchanges.
+	obs.Default.FuncCounter("psml_mux_frames_in_total", "Mux frames routed off peer links (data + control).", func() float64 {
+		return float64(comm.MuxTotals().FramesIn)
+	})
+	obs.Default.FuncCounter("psml_mux_frames_out_total", "Mux frames written to peer links (data + control).", func() float64 {
+		return float64(comm.MuxTotals().FramesOut)
+	})
+	obs.Default.FuncCounter("psml_mux_bytes_in_total", "Bytes routed off peer links, mux headers included.", func() float64 {
+		return float64(comm.MuxTotals().BytesIn)
+	})
+	obs.Default.FuncCounter("psml_mux_bytes_out_total", "Bytes written to peer links, mux headers included.", func() float64 {
+		return float64(comm.MuxTotals().BytesOut)
 	})
 	// Supervised peer link: reconnect/replay accounting from the comm
 	// layer's package totals (comm must not depend on obs).

@@ -72,7 +72,31 @@ func DecodeShares(frame []byte) (Shares, error) {
 	}
 	out.A, out.B = mats[0], mats[1]
 	out.T = TripletShares{U: mats[2], V: mats[3], Z: mats[4]}
+	if err := validateShares(out); err != nil {
+		return Shares{}, err
+	}
 	return out, nil
+}
+
+// validateShares rejects geometry the multiplication cannot run: the
+// kernels index by A and B's dimensions, so a malformed request whose
+// matrices decoded fine individually but disagree with each other would
+// otherwise panic the serving goroutine mid-GEMM instead of failing the
+// decode.
+func validateShares(in Shares) error {
+	m, k := in.A.Rows, in.A.Cols
+	n := in.B.Cols
+	switch {
+	case in.B.Rows != k:
+		return fmt.Errorf("mpc: shares geometry: A is %dx%d but B is %dx%d", m, k, in.B.Rows, n)
+	case in.T.U.Rows != m || in.T.U.Cols != k:
+		return fmt.Errorf("mpc: shares geometry: U is %dx%d, want %dx%d", in.T.U.Rows, in.T.U.Cols, m, k)
+	case in.T.V.Rows != k || in.T.V.Cols != n:
+		return fmt.Errorf("mpc: shares geometry: V is %dx%d, want %dx%d", in.T.V.Rows, in.T.V.Cols, k, n)
+	case in.T.Z.Rows != m || in.T.Z.Cols != n:
+		return fmt.Errorf("mpc: shares geometry: Z is %dx%d, want %dx%d", in.T.Z.Rows, in.T.Z.Cols, m, n)
+	}
+	return nil
 }
 
 // requestIDBytes prefixes every client request and every peer-exchange
@@ -130,10 +154,17 @@ type taggedConn struct {
 	id    uint64
 	idbuf [requestIDBytes]byte
 	rbuf  []byte
+	used  int // high-water frame size of the current request
 }
 
-// setID scopes subsequent frames to a new request.
-func (t *taggedConn) setID(id uint64) { t.id = id }
+// setID scopes subsequent frames to a new request. Request boundaries are
+// where receive scratch grown by one oversized exchange is let go: a
+// long-lived session must not pin the largest frame it ever saw.
+func (t *taggedConn) setID(id uint64) {
+	t.id = id
+	t.rbuf = shrinkScratch(t.rbuf, t.used)
+	t.used = 0
+}
 
 func (t *taggedConn) WriteFrame(b []byte) error {
 	binary.LittleEndian.PutUint64(t.idbuf[:], t.id)
@@ -153,6 +184,9 @@ func (t *taggedConn) ReadFrame() ([]byte, error) {
 			return nil, err
 		}
 		t.rbuf = f // keep the grown buffer, id prefix included
+		if len(f) > t.used {
+			t.used = len(f)
+		}
 		if len(f) < requestIDBytes {
 			return nil, fmt.Errorf("mpc: peer frame of %d bytes has no request id", len(f))
 		}
@@ -173,6 +207,24 @@ func (t *taggedConn) ReadFrameInto(buf []byte) ([]byte, error) {
 	return t.ReadFrame()
 }
 
+// bufShrinkCap is the high-water mark for serving-loop scratch buffers:
+// scratch grown past it by one oversized frame is released at the next
+// request boundary where the current usage no longer justifies it,
+// instead of staying resident for the session lifetime.
+const bufShrinkCap = 1 << 20
+
+// shrinkScratch decides whether a scratch buffer earned its keep: buffers
+// over the cap whose latest use filled less than half their capacity are
+// dropped (the next request re-allocates to its own size), counted on
+// psml_buf_shrinks_total. Everything else is kept as-is.
+func shrinkScratch(buf []byte, used int) []byte {
+	if cap(buf) > bufShrinkCap && used <= cap(buf)/2 {
+		metrics.bufShrinks.Inc()
+		return nil
+	}
+	return buf
+}
+
 // ServeTriplet handles one multiplication request: read the client's
 // request frame, run the party's protocol against the peer under the
 // request's id, return C_i to the client. The reply frame echoes the
@@ -186,6 +238,9 @@ func ServeTriplet(party int, client, peer comm.Framer) error {
 		return err // including io.EOF: client done
 	}
 	span := metrics.reqSerial.Start()
+	// Failed requests must record too: incident-time latency histograms
+	// that only see successes under-report exactly when it matters.
+	defer span.Stop()
 	metrics.requests.Inc()
 	id, in, err := DecodeRequest(frame)
 	if err != nil {
@@ -201,9 +256,7 @@ func ServeTriplet(party int, client, peer comm.Framer) error {
 	}
 	out := binary.LittleEndian.AppendUint64(make([]byte, 0, requestIDBytes+tensor.EncodedSize(ci)), id)
 	out = tensor.EncodeMatrix(out, ci)
-	err = client.WriteFrame(out)
-	span.Stop()
-	return err
+	return client.WriteFrame(out)
 }
 
 // isSessionEnd reports an error that means "client done", not a failure.
@@ -244,17 +297,21 @@ func ServeLoopWire(party int, client, peer comm.Framer, cfg WireConfig) error {
 			return err
 		}
 		reqBuf = frame
-		span := metrics.reqWire.Start()
+		// Explicit start time instead of a Span: the duration must be
+		// observed on the error returns too, not only the success path.
+		start := time.Now()
 		metrics.requests.Inc()
 		id, in, err := DecodeRequest(frame)
 		if err != nil {
 			metrics.requestErrors.Inc()
+			metrics.reqWire.ObserveSince(start)
 			return err
 		}
 		tc.setID(id)
 		ci, err := w.mul(tc, in.A, in.B, in.T, nil, nil)
 		if err != nil {
 			metrics.requestErrors.Inc()
+			metrics.reqWire.ObserveSince(start)
 			return fmt.Errorf("mpc: request %016x: %w", id, err)
 		}
 		outBuf = binary.LittleEndian.AppendUint64(outBuf[:0], id)
@@ -262,9 +319,12 @@ func ServeLoopWire(party int, client, peer comm.Framer, cfg WireConfig) error {
 		w.put(ci)
 		if err := client.WriteFrame(outBuf); err != nil {
 			metrics.requestErrors.Inc()
+			metrics.reqWire.ObserveSince(start)
 			return err
 		}
-		span.Stop()
+		metrics.reqWire.ObserveSince(start)
+		reqBuf = shrinkScratch(reqBuf, len(frame))
+		outBuf = shrinkScratch(outBuf, len(outBuf))
 	}
 }
 
@@ -358,6 +418,13 @@ type ServeConfig struct {
 	// (ServeLoopWire) instead of the serial per-request protocol. Both
 	// parties must configure it identically — the peer framings differ.
 	Wire *WireConfig
+	// Batch, when non-nil, coalesces compatible same-shape requests across
+	// sessions into single stacked exchanges (see batch.go) — bit-identical
+	// results, one peer round per batch instead of one per request. Both
+	// parties must enable it together: a peer without batching never
+	// answers proposals, and every batch pays the ack timeout before
+	// falling back.
+	Batch *BatchConfig
 	// Log receives structured serving events (session lifecycle, accept
 	// failures); nil silences them. Metrics are recorded regardless — the
 	// event stream and /metrics share the same call sites.
@@ -428,6 +495,19 @@ func ServeClients(ctx context.Context, party int, ln net.Listener, peer comm.Fra
 		w.Pool = tensor.NewPool()
 		cfg.Wire = &w
 	}
+	var bt batcher
+	if cfg.Batch != nil {
+		var pool *tensor.Pool
+		if cfg.Wire != nil {
+			pool = cfg.Wire.Pool
+		}
+		b, err := newBatcher(party, mux, *cfg.Batch, pool)
+		if err != nil {
+			mux.Close()
+			return fmt.Errorf("mpc: party %d: %w", party, err)
+		}
+		bt = b
+	}
 
 	// Cancelling ctx closes the listener (unblocking Accept) and every
 	// tracked session conn (unblocking their frame reads). The mutex
@@ -445,12 +525,20 @@ func ServeClients(ctx context.Context, party int, ln net.Listener, peer comm.Fra
 		for c := range active {
 			c.Close()
 		}
+		if bt != nil {
+			// Unpark collecting batches immediately: their members fall
+			// back and then fail on their (now closing) client conns.
+			bt.close()
+		}
 	})
 	defer stop()
 
 	var wg sync.WaitGroup
 	defer func() {
 		wg.Wait()
+		if bt != nil {
+			bt.close() // idempotent: the AfterFunc may have run already
+		}
 		mux.Close()
 	}()
 
@@ -498,7 +586,7 @@ func ServeClients(ctx context.Context, party int, ln net.Listener, peer comm.Fra
 		wg.Add(1)
 		go func(client *comm.Conn) {
 			defer wg.Done()
-			serveMuxSession(party, client, mux, cfg)
+			serveMuxSession(party, client, mux, bt, cfg)
 			mu.Lock()
 			delete(active, client)
 			mu.Unlock()
@@ -510,14 +598,14 @@ func ServeClients(ctx context.Context, party int, ln net.Listener, peer comm.Fra
 
 // serveMuxSession runs one client session's request loop with its
 // lifecycle metrics and logging.
-func serveMuxSession(party int, client *comm.Conn, mux *comm.Mux, cfg ServeConfig) {
+func serveMuxSession(party int, client *comm.Conn, mux *comm.Mux, bt batcher, cfg ServeConfig) {
 	if cfg.ClientTimeout > 0 {
 		client.SetTimeouts(cfg.ClientTimeout, cfg.ClientTimeout)
 	}
 	metrics.sessions.Inc()
 	metrics.sessionsActive.Add(1)
 	cfg.Log.Event("session_start", "party", party)
-	err := serveMuxLoop(party, client, mux, cfg)
+	err := serveMuxLoop(party, client, mux, bt, cfg)
 	if err != nil && !isSessionEnd(err) {
 		metrics.sessionErrors.Inc()
 		cfg.Log.Error("session", err, "party", party)
@@ -532,8 +620,14 @@ func serveMuxSession(party int, client *comm.Conn, mux *comm.Mux, cfg ServeConfi
 // request id. The exchange itself is exactly ServeLoop's (serial) or
 // ServeLoopWire's (banded double pipeline) protocol — the mux session
 // replaces the dedicated tagged connection, so results stay bit-identical
-// to the single-session paths.
-func serveMuxLoop(party int, client *comm.Conn, mux *comm.Mux, cfg ServeConfig) error {
+// to the single-session paths. With bt non-nil each request is first
+// offered to the batch scheduler; requests it cannot place (degenerate
+// shapes, members dropped by the peer) run the individual path unchanged.
+//
+// The request latency histogram for the taken path is observed on EVERY
+// exit, error returns included — an explicit start time instead of a Span
+// so failures record too.
+func serveMuxLoop(party int, client *comm.Conn, mux *comm.Mux, bt batcher, cfg ServeConfig) error {
 	var w *wireMul
 	if cfg.Wire != nil {
 		w = newWireMul(party, *cfg.Wire)
@@ -546,47 +640,71 @@ func serveMuxLoop(party int, client *comm.Conn, mux *comm.Mux, cfg ServeConfig) 
 			return err // including io.EOF: client done
 		}
 		reqBuf = frame
-		var span obs.Span
+		start := time.Now()
+		h := metrics.reqSerial
 		if w != nil {
-			span = metrics.reqWire.Start()
-		} else {
-			span = metrics.reqSerial.Start()
+			h = metrics.reqWire
 		}
 		metrics.requests.Inc()
 		id, in, err := DecodeRequest(frame)
 		if err != nil {
 			metrics.requestErrors.Inc()
+			h.ObserveSince(start)
 			return err
 		}
-		sess, err := mux.Open(id)
-		if err != nil {
-			metrics.requestErrors.Inc()
-			return fmt.Errorf("mpc: request %016x: %w", id, err)
-		}
 		var ci *tensor.Matrix
-		if w != nil {
-			ci, err = w.mul(sess, in.A, in.B, in.T, nil, nil)
-		} else {
-			ci, err = RemoteParty(party, sess, in)
+		var release func()
+		handled := false
+		if bt != nil {
+			var berr error
+			ci, release, handled, berr = bt.do(id, in)
+			if handled {
+				h = metrics.reqBatched
+				if berr != nil {
+					metrics.requestErrors.Inc()
+					h.ObserveSince(start)
+					return fmt.Errorf("mpc: request %016x: %w", id, berr)
+				}
+			}
 		}
-		if err != nil {
-			// Notify the peer's half so it fails fast instead of waiting
-			// out its read deadline on frames that will never come.
-			sess.Abort()
-			metrics.requestErrors.Inc()
-			return fmt.Errorf("mpc: request %016x: %w", id, err)
+		if !handled {
+			sess, err := mux.Open(id)
+			if err != nil {
+				metrics.requestErrors.Inc()
+				h.ObserveSince(start)
+				return fmt.Errorf("mpc: request %016x: %w", id, err)
+			}
+			if w != nil {
+				ci, err = w.mul(sess, in.A, in.B, in.T, nil, nil)
+			} else {
+				ci, err = RemoteParty(party, sess, in)
+			}
+			if err != nil {
+				// Notify the peer's half so it fails fast instead of waiting
+				// out its read deadline on frames that will never come.
+				sess.Abort()
+				metrics.requestErrors.Inc()
+				h.ObserveSince(start)
+				return fmt.Errorf("mpc: request %016x: %w", id, err)
+			}
+			sess.Close()
 		}
-		sess.Close()
 		outBuf = binary.LittleEndian.AppendUint64(outBuf[:0], id)
 		outBuf = tensor.EncodeMatrix(outBuf, ci)
-		if w != nil {
+		switch {
+		case release != nil:
+			release() // last member out returns the stacked result
+		case w != nil && !handled:
 			w.put(ci)
 		}
 		if err := client.WriteFrame(outBuf); err != nil {
 			metrics.requestErrors.Inc()
+			h.ObserveSince(start)
 			return err
 		}
-		span.Stop()
+		h.ObserveSince(start)
+		reqBuf = shrinkScratch(reqBuf, len(frame))
+		outBuf = shrinkScratch(outBuf, len(outBuf))
 	}
 }
 
