@@ -54,6 +54,7 @@ func main() {
 	peerReconnectBackoff := flag.Duration("peer-reconnect-backoff", 100*time.Millisecond, "initial backoff between peer connect attempts (doubles with jitter, capped at 2s)")
 	wirePipeline := flag.Bool("wire-pipeline", false, "serve with the banded double pipeline on the peer link (both servers must agree, including -wire-chunk-rows)")
 	wireChunkRows := flag.Int("wire-chunk-rows", 0, "row-band height of the pipelined E exchange; 0 streams whole matrices (requires -wire-pipeline)")
+	wireCodec := flag.String("wire-codec", "raw", "wire compression for revealed E/F tensors: auto (FP16+CSR, cost-model picked), raw, fp16 or csr; negotiated with the peer, so an old peer degrades to raw (requires -wire-pipeline)")
 	batchWindow := flag.Duration("batch-window", 0, "coalesce same-shape requests arriving within this window into one stacked peer exchange (0 disables unless -planner; both servers must agree)")
 	batchMaxRows := flag.Int("batch-max-rows", 0, "cap on a batch's stacked E rows; reaching it dispatches immediately (0 selects the default; requires batching)")
 	planner := flag.Bool("planner", false, "drive the batch window and band height from the hw cost models plus measured exchange costs instead of static values (enables batching)")
@@ -68,6 +69,13 @@ func main() {
 	}
 	if *wireChunkRows != 0 && !*wirePipeline {
 		log.Fatalf("-wire-chunk-rows requires -wire-pipeline")
+	}
+	codecSet, err := mpc.ParseWireCodecName(*wireCodec)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	if codecSet != 0 && !*wirePipeline {
+		log.Fatalf("-wire-codec=%s requires -wire-pipeline", *wireCodec)
 	}
 	if *batchMaxRows != 0 && *batchWindow <= 0 && !*planner {
 		log.Fatalf("-batch-max-rows requires -batch-window or -planner")
@@ -153,7 +161,14 @@ func main() {
 	}
 	if *wirePipeline {
 		cfg.Wire = &mpc.WireConfig{ChunkRows: *wireChunkRows}
-		log.Printf("party %d: wire double pipeline enabled (chunk rows %d)", *party, *wireChunkRows)
+		if codecSet != 0 {
+			// Negotiated: stays raw until (unless) the peer advertises its
+			// own codec set, so mixed-version server pairs keep working.
+			cfg.Wire.Codec = &mpc.WireCodec{Enabled: codecSet, HW: hw.Paper(), Negotiate: true}
+			log.Printf("party %d: wire double pipeline enabled (chunk rows %d, codec %s)", *party, *wireChunkRows, *wireCodec)
+		} else {
+			log.Printf("party %d: wire double pipeline enabled (chunk rows %d)", *party, *wireChunkRows)
+		}
 	}
 	if *batchWindow > 0 || *planner {
 		cfg.Batch = &mpc.BatchConfig{Window: *batchWindow, MaxRows: *batchMaxRows}

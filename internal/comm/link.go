@@ -157,8 +157,11 @@ func (s *DeltaSender) sendDry(cur *tensor.Matrix, denseSize int, deps ...*simtim
 	}
 	if s.DrySparsity >= s.Threshold {
 		nnz := int(float64(cur.Rows*cur.Cols) * (1 - s.DrySparsity))
-		wire := 1 + 13 + 4*(cur.Rows+1) + 8*nnz
-		return nil, s.Link.sendBytes("delta.csr", wire, denseSize, true, deps...), true
+		// Mirror CompressionWorthwhile's size crossover: a sparse-enough
+		// delta still goes dense when CSR index overhead outweighs the win.
+		if wire := 1 + tensor.EncodedSizeCSR(cur.Rows, cur.Cols, nnz); wire < denseSize {
+			return nil, s.Link.sendBytes("delta.csr", wire, denseSize, true, deps...), true
+		}
 	}
 	return nil, s.Link.sendBytes("delta.dense", denseSize, denseSize, false, deps...), false
 }

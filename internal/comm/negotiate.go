@@ -1,0 +1,73 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Versioned capability negotiation frames, the lattigo marshaler idiom
+// (leading magic + version, explicit extension length) applied to peer
+// feature discovery: each party advertises a bitmask of optional wire
+// features on a reserved control stream, and a peer enables only the
+// intersection of what both sides advertised. The codec is deliberately
+// dumb about semantics — the meaning of the bits belongs to the caller
+// (internal/mpc assigns wire-codec capabilities) — so one frame format
+// serves every future negotiation.
+//
+// Layout (little-endian):
+//
+//	u32 magic | u8 version | u32 caps | u16 extLen | extLen bytes
+//
+// Forward compatibility: a parser accepts ANY version — the fixed fields
+// never move — and callers mask caps to the bits they know, so a newer
+// peer's extra bits and extension payload are ignored rather than fatal.
+// An old peer that has never heard of the control stream simply never
+// replies, which callers must treat as "no optional capabilities".
+
+// CapabilityFrame is one advertised capability set.
+type CapabilityFrame struct {
+	Version byte
+	Caps    uint32
+	Ext     []byte // version-specific extension payload; nil for version 1
+}
+
+// capFrameFixedBytes is the size of the fixed fields: magic, version,
+// caps, extension length.
+const capFrameFixedBytes = 4 + 1 + 4 + 2
+
+// maxCapExtBytes bounds the extension payload so a hostile frame cannot
+// claim an absurd length.
+const maxCapExtBytes = 1 << 12
+
+// AppendCapabilityFrame appends the wire form of f under the given magic.
+func AppendCapabilityFrame(buf []byte, magic uint32, f CapabilityFrame) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, magic)
+	buf = append(buf, f.Version)
+	buf = binary.LittleEndian.AppendUint32(buf, f.Caps)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f.Ext)))
+	return append(buf, f.Ext...)
+}
+
+// ParseCapabilityFrame decodes a capability frame, validating the magic
+// and the declared extension length. Unknown (newer) versions parse
+// successfully — the caller masks Caps to the bits it implements and
+// ignores Ext — so upgrading the frame never breaks old peers.
+func ParseCapabilityFrame(frame []byte, magic uint32) (CapabilityFrame, error) {
+	var f CapabilityFrame
+	if len(frame) < capFrameFixedBytes {
+		return f, fmt.Errorf("comm: capability frame of %d bytes", len(frame))
+	}
+	if got := binary.LittleEndian.Uint32(frame); got != magic {
+		return f, fmt.Errorf("comm: capability frame magic %08x, want %08x", got, magic)
+	}
+	f.Version = frame[4]
+	f.Caps = binary.LittleEndian.Uint32(frame[5:])
+	extLen := int(binary.LittleEndian.Uint16(frame[9:]))
+	if extLen > maxCapExtBytes || len(frame) != capFrameFixedBytes+extLen {
+		return f, fmt.Errorf("comm: capability frame length %d for ext %d", len(frame), extLen)
+	}
+	if extLen > 0 {
+		f.Ext = append([]byte(nil), frame[capFrameFixedBytes:]...) // copy: frame buffers are reused
+	}
+	return f, nil
+}

@@ -1,0 +1,69 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+)
+
+const testCapMagic = 0x70534d4c
+
+func TestCapabilityFrameRoundTrip(t *testing.T) {
+	f := CapabilityFrame{Version: 1, Caps: 0b11}
+	wire := AppendCapabilityFrame(nil, testCapMagic, f)
+	if len(wire) != capFrameFixedBytes {
+		t.Fatalf("frame is %d bytes, want %d", len(wire), capFrameFixedBytes)
+	}
+	got, err := ParseCapabilityFrame(wire, testCapMagic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != f.Version || got.Caps != f.Caps || got.Ext != nil {
+		t.Fatalf("round trip: %+v, want %+v", got, f)
+	}
+}
+
+// A future (higher-version) frame with extra capability bits and an
+// extension payload must still parse: old peers mask the caps they know
+// and ignore the extension.
+func TestCapabilityFrameForwardCompatible(t *testing.T) {
+	future := CapabilityFrame{Version: 9, Caps: 0xffff_ffff, Ext: []byte("future fields")}
+	wire := AppendCapabilityFrame(nil, testCapMagic, future)
+	got, err := ParseCapabilityFrame(wire, testCapMagic)
+	if err != nil {
+		t.Fatalf("old parser rejected a newer frame: %v", err)
+	}
+	if got.Version != 9 || got.Caps&0b11 != 0b11 {
+		t.Fatalf("fixed fields moved: %+v", got)
+	}
+	if !bytes.Equal(got.Ext, future.Ext) {
+		t.Fatalf("ext payload lost: %q", got.Ext)
+	}
+	// The returned Ext must be a copy — mutating the wire buffer afterwards
+	// (frame buffers are reused) must not change it.
+	wire[capFrameFixedBytes] ^= 0xff
+	if !bytes.Equal(got.Ext, future.Ext) {
+		t.Fatal("Ext aliases the reusable frame buffer")
+	}
+}
+
+func TestCapabilityFrameRejects(t *testing.T) {
+	good := AppendCapabilityFrame(nil, testCapMagic, CapabilityFrame{Version: 1, Caps: 1})
+	for name, frame := range map[string][]byte{
+		"short":       good[:capFrameFixedBytes-1],
+		"empty":       {},
+		"wrong magic": AppendCapabilityFrame(nil, testCapMagic+1, CapabilityFrame{Version: 1}),
+		"ext too short": AppendCapabilityFrame(nil, testCapMagic,
+			CapabilityFrame{Version: 1, Ext: []byte{1, 2, 3}})[:capFrameFixedBytes+1],
+		"trailing junk": append(append([]byte(nil), good...), 0xde, 0xad),
+	} {
+		if _, err := ParseCapabilityFrame(frame, testCapMagic); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+	// A hostile extension length beyond the bound is rejected even when the
+	// payload is actually present.
+	huge := CapabilityFrame{Version: 1, Ext: make([]byte, maxCapExtBytes+1)}
+	if _, err := ParseCapabilityFrame(AppendCapabilityFrame(nil, testCapMagic, huge), testCapMagic); err == nil {
+		t.Error("oversized ext parsed without error")
+	}
+}

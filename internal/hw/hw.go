@@ -223,6 +223,42 @@ func (p Platform) BatchBandRows(stackRows, k, n int) int {
 	return rows
 }
 
+// Wire-codec crossover queries: the cost-model side of the serving layer's
+// adaptive per-tensor compression (internal/mpc's wirecodec). Re-encoding
+// a tensor trades CPU passes for wire bytes; whether that pays is purely a
+// function of the codec's streaming rate against the link's effective
+// bandwidth, so — like the batch window — it is a computed quantity, not a
+// tuned constant. Entry points follow the Exchange*/Batch* naming of the
+// batching queries above: CodecTime is the per-pass cost model,
+// CodecWorthwhile the crossover.
+
+// CodecTime returns the modeled single-core time of one streaming codec
+// pass over n FP32 elements (encode or decode). The pass is memory-bound —
+// each element is read and written once, ~8 bytes of traffic — so the
+// per-element conversion arithmetic (binary16 rounding, CSR index
+// bookkeeping) hides under the memory streams.
+func (c CPUModel) CodecTime(elems int) float64 {
+	return 8 * float64(elems) / c.MemBandwidthCore
+}
+
+// CodecWorthwhile reports whether re-encoding an elems-element tensor to
+// save bytesSaved wire bytes pays on a link shipping linkBps bytes/s: the
+// transfer time saved must cover one encode pass on the sender plus one
+// decode pass on the receiver. linkBps <= 0 charges the platform's Net
+// model. On the paper's InfiniBand fabric this is never worthwhile — the
+// link outruns the codec passes — which is the correct answer there; the
+// runtime selector feeds measured effective bandwidth instead, so throttled
+// or congested deployments cross over.
+func (p Platform) CodecWorthwhile(bytesSaved, elems int, linkBps float64) bool {
+	if bytesSaved <= 0 {
+		return false
+	}
+	if linkBps <= 0 {
+		linkBps = p.Net.Bandwidth
+	}
+	return float64(bytesSaved)/linkBps > 2*p.CPU.CodecTime(elems)
+}
+
 // Paper returns the model of the paper's evaluation platform.
 func Paper() Platform {
 	return Platform{

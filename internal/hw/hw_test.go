@@ -145,3 +145,29 @@ func TestPositiveCosts(t *testing.T) {
 		t.Fatal("all costs must be strictly positive")
 	}
 }
+
+func TestCodecCrossover(t *testing.T) {
+	p := Paper()
+	const elems = 256 * 256
+	halved := 2 * elems // FP16 saves 2 of the 4 bytes per element
+	// On the paper's InfiniBand the link outruns the codec passes.
+	if p.CodecWorthwhile(halved, elems, 0) {
+		t.Fatal("compression should not pay on the 11.5 GB/s fabric")
+	}
+	// On a 16 MiB/s throttled link it pays decisively.
+	if !p.CodecWorthwhile(halved, elems, 16<<20) {
+		t.Fatal("halving bytes must pay at 16 MiB/s")
+	}
+	// No bytes saved, no crossover, at any bandwidth.
+	if p.CodecWorthwhile(0, elems, 16<<20) || p.CodecWorthwhile(-4, elems, 16<<20) {
+		t.Fatal("non-positive savings must never be worthwhile")
+	}
+	// The crossover is monotone in link speed: the slowest link where it
+	// stops paying bounds the fastest where it still does.
+	if p.CodecWorthwhile(halved, elems, 100e9) {
+		t.Fatal("crossover not monotone: pays at 100 GB/s")
+	}
+	if ct := p.CPU.CodecTime(elems); ct <= 0 {
+		t.Fatalf("CodecTime = %v", ct)
+	}
+}

@@ -118,7 +118,10 @@ type batcher interface {
 }
 
 // newBatcher wires the party's side of the batch protocol onto the mux.
-func newBatcher(party int, mux *comm.Mux, cfg BatchConfig, pool *tensor.Pool) (batcher, error) {
+// codec, when non-nil, compresses the stacked E/F exchanges exactly like
+// the per-request wire path (rounding is elementwise, so a stacked FP16
+// round equals rounding each member individually).
+func newBatcher(party int, mux *comm.Mux, cfg BatchConfig, pool *tensor.Pool, codec *WireCodec) (batcher, error) {
 	ctl, err := mux.Open(batchCtlID)
 	if err != nil {
 		return nil, fmt.Errorf("mpc: batch control session: %w", err)
@@ -133,6 +136,7 @@ func newBatcher(party int, mux *comm.Mux, cfg BatchConfig, pool *tensor.Pool) (b
 			mux:     mux,
 			ctl:     ctl,
 			pool:    pool,
+			codec:   codec,
 			pending: make(map[batchShape]*pendingBatch),
 			acks:    make(map[uint64]chan batchAck),
 			done:    make(chan struct{}),
@@ -145,6 +149,7 @@ func newBatcher(party int, mux *comm.Mux, cfg BatchConfig, pool *tensor.Pool) (b
 		mux:     mux,
 		ctl:     ctl,
 		pool:    pool,
+		codec:   codec,
 		waiting: make(map[uint64]*batchMember),
 		expect:  make(map[uint64]chan *batchMember),
 		dropped: make(map[uint64]struct{}),
@@ -230,10 +235,11 @@ type pendingBatch struct {
 }
 
 type batchLeader struct {
-	cfg  BatchConfig
-	mux  *comm.Mux
-	ctl  *comm.MuxSession
-	pool *tensor.Pool
+	cfg   BatchConfig
+	mux   *comm.Mux
+	ctl   *comm.MuxSession
+	pool  *tensor.Pool
+	codec *WireCodec
 
 	mu      sync.Mutex
 	closed  bool
@@ -408,7 +414,7 @@ func (l *batchLeader) run(pb *pendingBatch) {
 		return
 	}
 	start := time.Now()
-	cstack, err := batchExec(0, sess, pb.shape, accepted, prop.stackBand, l.pool)
+	cstack, err := batchExec(0, sess, pb.shape, accepted, prop.stackBand, l.pool, l.codec)
 	metrics.batchExec.ObserveSince(start)
 	if err != nil {
 		sess.Abort()
@@ -480,6 +486,7 @@ type batchFollower struct {
 	mux          *comm.Mux
 	ctl          *comm.MuxSession
 	pool         *tensor.Pool
+	codec        *WireCodec
 	proposalWait time.Duration
 
 	mu       sync.Mutex
@@ -675,7 +682,7 @@ func (f *batchFollower) runBatch(prop batchProposal) {
 		return
 	}
 	start := time.Now()
-	cstack, err := batchExec(1, sess, prop.shape, members, prop.stackBand, f.pool)
+	cstack, err := batchExec(1, sess, prop.shape, members, prop.stackBand, f.pool, f.codec)
 	metrics.batchExec.ObserveSince(start)
 	if err != nil {
 		sess.Abort()
@@ -702,21 +709,27 @@ func (f *batchFollower) close() {
 // ---- stacked execution ----
 
 // sendStacked streams this party's half of a batch exchange: the stacked F
-// share as one head frame, then the stacked E share in bands.
-func sendStacked(conn comm.Framer, fstack, estack *tensor.Matrix, band int) error {
+// share as one head frame (encoded under fKind), then the stacked E share
+// in bands (encoded under eKind; locally dense CSR bands fall back to raw
+// per band). Returns the total bytes shipped for the codec's bandwidth
+// feedback.
+func sendStacked(conn comm.Framer, fstack, estack *tensor.Matrix, band int, fKind, eKind wireCodecKind) (int, error) {
 	var view tensor.Matrix
-	buf := tensor.EncodeMatrix(nil, fstack)
+	sent := 0
+	buf := appendWireTensor(nil, fstack, fKind)
+	sent += len(buf)
 	if err := conn.WriteFrame(buf); err != nil {
-		return err
+		return sent, err
 	}
 	for lo := 0; lo < estack.Rows; lo += band {
 		hi := min(lo+band, estack.Rows)
-		buf = tensor.EncodeMatrix(buf[:0], estack.SliceRowsInto(&view, lo, hi))
+		buf = appendWireTensor(buf[:0], estack.SliceRowsInto(&view, lo, hi), eKind)
+		sent += len(buf)
 		if err := conn.WriteFrame(buf); err != nil {
-			return err
+			return sent, err
 		}
 	}
-	return nil
+	return sent, nil
 }
 
 // batchExec runs this party's side of one batched exchange over sess: B
@@ -725,9 +738,12 @@ func sendStacked(conn comm.Framer, fstack, estack *tensor.Matrix, band int) erro
 // then the (B·m)×k E stack in bands of stackBand rows, full duplex. Each
 // member's rows run exactly the per-session op sequence (Eqs. 4, 5, 8) —
 // every dst row of the fused GEMM accumulates independently, so the
-// result is bit-identical to B individual exchanges. Returns the pooled
-// (B·m)×n stacked result; the caller distributes row views and releases.
-func batchExec(party int, sess *comm.MuxSession, shape batchShape, members []*batchMember, stackBand int, pool *tensor.Pool) (*tensor.Matrix, error) {
+// result is bit-identical to B individual exchanges (under codec, to B
+// individual exchanges with the same picks: FP16 rounding is elementwise
+// and the retained stack is rounded in place before use, like wireMul).
+// Returns the pooled (B·m)×n stacked result; the caller distributes row
+// views and releases.
+func batchExec(party int, sess *comm.MuxSession, shape batchShape, members []*batchMember, stackBand int, pool *tensor.Pool, codec *WireCodec) (*tensor.Matrix, error) {
 	m, k, n := shape.m, shape.k, shape.n
 	B := len(members)
 	stackRows := B * m
@@ -745,9 +761,25 @@ func batchExec(party int, sess *comm.MuxSession, shape batchShape, members []*ba
 	for j, mem := range members {
 		tensor.Sub(fstack.SliceRowsInto(&jView, j*k, (j+1)*k), mem.in.B, mem.in.T.V)
 	}
+	eKind, fKind := codecRaw, codecRaw
+	if codec != nil {
+		eKind = codec.pick(estack, tensorE)
+		if eKind == codecFP16 {
+			tensor.RoundMatrixFloat16InPlace(estack)
+		}
+		fKind = codec.pick(fstack, tensorF)
+		if fKind == codecFP16 {
+			tensor.RoundMatrixFloat16InPlace(fstack)
+		}
+	}
 
 	sendDone := make(chan error, 1)
-	go func() { sendDone <- sendStacked(sess, fstack, estack, stackBand) }()
+	sentBytes := make(chan int, 1)
+	go func() {
+		sent, err := sendStacked(sess, fstack, estack, stackBand, fKind, eKind)
+		sentBytes <- sent
+		sendDone <- err
+	}()
 	drained := false
 	defer func() {
 		if !drained {
@@ -773,7 +805,7 @@ func batchExec(party int, sess *comm.MuxSession, shape batchShape, members []*ba
 	recvBuf = frame
 	peerF := pool.Get(B*k, n)
 	defer pool.Put(peerF)
-	if _, err := tensor.DecodeMatrixInto(peerF, frame); err != nil {
+	if _, err := tensor.DecodeAnyInto(peerF, frame); err != nil {
 		return nil, fmt.Errorf("mpc: batch decode F: %w", err)
 	}
 	t0 = time.Now()
@@ -811,7 +843,7 @@ func batchExec(party int, sess *comm.MuxSession, shape batchShape, members []*ba
 		}
 		recvBuf = frame
 		pb := peerBand.SliceRowsInto(&pbView, 0, rows)
-		if _, err := tensor.DecodeMatrixInto(pb, frame); err != nil {
+		if _, err := tensor.DecodeAnyInto(pb, frame); err != nil {
 			return nil, fmt.Errorf("mpc: batch decode E band %d: %w", lo/stackBand, err)
 		}
 		// Reconstruct the stacked public E band, then fuse each member's
@@ -850,6 +882,7 @@ func batchExec(party int, sess *comm.MuxSession, shape batchShape, members []*ba
 	if sendErr != nil {
 		return nil, fmt.Errorf("mpc: batch send E/F: %w", sendErr)
 	}
+	codec.ObserveLink(<-sentBytes, exchDur)
 	metrics.phaseExchange.Observe(exchDur)
 	metrics.phaseReconstruct.Observe(reconDur)
 	metrics.phaseGemm.Observe(gemmDur)

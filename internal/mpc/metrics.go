@@ -38,6 +38,14 @@ var metrics = struct {
 	batchWait      *obs.Histogram
 	batchExec      *obs.Histogram
 
+	// Adaptive wire compression (wirecodec.go): per-tensor codec picks
+	// indexed [tensorE|tensorF][codecRaw|codecFP16|codecCSR], dense bytes
+	// the chosen encodings avoided, and the peer's negotiated capability
+	// set (-1 is never reported; 0 means raw-only or not yet negotiated).
+	wireCodecPicks      [2][3]*obs.Counter
+	wireBytesSaved      *obs.Counter
+	wireCodecNegotiated *obs.Gauge
+
 	// Serving-loop scratch buffers released at request boundaries after
 	// outgrowing the high-water cap (see shrinkScratch).
 	bufShrinks *obs.Counter
@@ -74,6 +82,21 @@ var metrics = struct {
 	batchDropped:   obs.Default.Counter("psml_batch_dropped_members_total", "Proposed batch members the peer dropped (their half never arrived in time)."),
 	batchWait:      obs.Default.Histogram("psml_batch_wait_seconds", "Collector hold time from a batch's first request to dispatch."),
 	batchExec:      obs.Default.Histogram("psml_batch_exec_seconds", "Stacked batch exchange execution time."),
+
+	wireCodecPicks: [2][3]*obs.Counter{
+		{
+			obs.Default.Counter(`psml_wire_codec_total{tensor="e",codec="raw"}`, "Per-tensor wire codec selections on the online exchange path."),
+			obs.Default.Counter(`psml_wire_codec_total{tensor="e",codec="fp16"}`, "Per-tensor wire codec selections on the online exchange path."),
+			obs.Default.Counter(`psml_wire_codec_total{tensor="e",codec="csr"}`, "Per-tensor wire codec selections on the online exchange path."),
+		},
+		{
+			obs.Default.Counter(`psml_wire_codec_total{tensor="f",codec="raw"}`, "Per-tensor wire codec selections on the online exchange path."),
+			obs.Default.Counter(`psml_wire_codec_total{tensor="f",codec="fp16"}`, "Per-tensor wire codec selections on the online exchange path."),
+			obs.Default.Counter(`psml_wire_codec_total{tensor="f",codec="csr"}`, "Per-tensor wire codec selections on the online exchange path."),
+		},
+	},
+	wireBytesSaved:      obs.Default.Counter("psml_wire_bytes_saved_total", "Dense-encoding bytes avoided by compressed wire frames (FP16/CSR)."),
+	wireCodecNegotiated: obs.Default.Gauge("psml_wire_codec_negotiated", "Peer's negotiated codec capability bitmask (bit0 FP16, bit1 CSR); 0 until the peer advertises."),
 
 	bufShrinks: obs.Default.Counter("psml_buf_shrinks_total", "Serving-loop scratch buffers released after exceeding the high-water cap."),
 

@@ -34,6 +34,11 @@ import (
 //
 // A Planner is safe for concurrent use and is shared by both serving
 // parties' batch schedulers.
+//
+// WireCodec (wirecodec.go) is the same model-plus-measurement pattern
+// applied to the per-tensor encoding decision: hw.Platform.CodecWorthwhile
+// is the analytic crossover, and a live bandwidth EWMA (ObserveLink)
+// stands in for the exchange histogram.
 type Planner struct {
 	// HW is the analytic platform model. The zero value is not useful;
 	// use NewPlanner or fill in hw.Paper().

@@ -495,13 +495,29 @@ func ServeClients(ctx context.Context, party int, ln net.Listener, peer comm.Fra
 		w.Pool = tensor.NewPool()
 		cfg.Wire = &w
 	}
+	var codec *WireCodec
+	if cfg.Wire != nil {
+		codec = cfg.Wire.Codec
+	}
+	// Codec capability handshake: advertise once on the reserved control
+	// session and upgrade when the peer's advertisement arrives. Until
+	// then (or forever, against an old peer that never answers) every
+	// send stays raw — no timeout in the startup path.
+	if codec != nil && codec.Negotiate {
+		ctl, err := mux.Open(wireCtlID)
+		if err != nil {
+			mux.Close()
+			return fmt.Errorf("mpc: party %d: codec control session: %w", party, err)
+		}
+		go runCodecNegotiation(ctl, codec, cfg.Log)
+	}
 	var bt batcher
 	if cfg.Batch != nil {
 		var pool *tensor.Pool
 		if cfg.Wire != nil {
 			pool = cfg.Wire.Pool
 		}
-		b, err := newBatcher(party, mux, *cfg.Batch, pool)
+		b, err := newBatcher(party, mux, *cfg.Batch, pool, codec)
 		if err != nil {
 			mux.Close()
 			return fmt.Errorf("mpc: party %d: %w", party, err)

@@ -46,6 +46,12 @@ type WireConfig struct {
 	// Pool recycles per-request matrices. nil lets each serving loop
 	// create its own.
 	Pool *tensor.Pool
+	// Codec, when non-nil, adaptively compresses the revealed E/F tensors
+	// on the wire (FP16/CSR, see wirecodec.go) when the link byte budget
+	// makes it pay. Frames are self-describing, so receivers need no
+	// matching setting; raw shares (activation reveals, session F setup)
+	// are never lossy-encoded. nil sends everything raw.
+	Codec *WireCodec
 }
 
 // bandRows clamps the configured band height to [1, m].
@@ -84,12 +90,19 @@ type wireMul struct {
 	done    chan error    // sender completion, buffered so senders never leak
 
 	// Sender arguments, set before the kick. sHead (optional) goes out
-	// first as one whole frame; sE (optional) follows as row bands.
-	sconn comm.Framer
-	sHead *tensor.Matrix
-	sE    *tensor.Matrix
-	sBand int
-	sView tensor.Matrix // sender-side band view (sender goroutine only)
+	// first as one whole frame; sE (optional) follows as row bands. The
+	// per-tensor codec kinds are picked by the main goroutine before the
+	// kick (any FP16 rounding of the retained share happens there too, so
+	// both parties use what they ship). sentBytes is written by the
+	// sender and read by the main goroutine only after draining done.
+	sconn     comm.Framer
+	sHead     *tensor.Matrix
+	sE        *tensor.Matrix
+	sBand     int
+	sHeadKind wireCodecKind
+	sEKind    wireCodecKind
+	sentBytes int
+	sView     tensor.Matrix // sender-side band view (sender goroutine only)
 
 	// Persistent band-view headers (main goroutine only): retargeted with
 	// SliceRowsInto each band instead of allocating a header per band.
@@ -123,8 +136,10 @@ func (w *wireMul) senderLoop() {
 }
 
 func (w *wireMul) runSender() error {
+	w.sentBytes = 0
 	if w.sHead != nil {
-		w.sendBuf = tensor.EncodeMatrix(w.sendBuf[:0], w.sHead)
+		w.sendBuf = appendWireTensor(w.sendBuf[:0], w.sHead, w.sHeadKind)
+		w.sentBytes += len(w.sendBuf)
 		if err := w.sconn.WriteFrame(w.sendBuf); err != nil {
 			return err
 		}
@@ -135,7 +150,8 @@ func (w *wireMul) runSender() error {
 	rows := w.sE.Rows
 	for lo := 0; lo < rows; lo += w.sBand {
 		hi := min(lo+w.sBand, rows)
-		w.sendBuf = tensor.EncodeMatrix(w.sendBuf[:0], w.sE.SliceRowsInto(&w.sView, lo, hi))
+		w.sendBuf = appendWireTensor(w.sendBuf[:0], w.sE.SliceRowsInto(&w.sView, lo, hi), w.sEKind)
+		w.sentBytes += len(w.sendBuf)
 		if err := w.sconn.WriteFrame(w.sendBuf); err != nil {
 			return err
 		}
@@ -143,9 +159,11 @@ func (w *wireMul) runSender() error {
 	return nil
 }
 
-// launch arms the sender goroutine with head+bands and kicks it.
-func (w *wireMul) launch(conn comm.Framer, head, bands *tensor.Matrix, bandRows int) {
+// launch arms the sender goroutine with head+bands (and their picked
+// codec kinds) and kicks it.
+func (w *wireMul) launch(conn comm.Framer, head, bands *tensor.Matrix, bandRows int, headKind, bandKind wireCodecKind) {
 	w.sconn, w.sHead, w.sE, w.sBand = conn, head, bands, bandRows
+	w.sHeadKind, w.sEKind = headKind, bandKind
 	w.kick <- struct{}{}
 }
 
@@ -160,6 +178,13 @@ func (w *wireMul) launch(conn comm.Framer, head, bands *tensor.Matrix, bandRows 
 // the E bands. dst, when non-nil, receives the result (a.Rows×b.Cols);
 // when nil a pooled matrix is returned — callers give it back with
 // ReleaseTo or keep it.
+//
+// With cfg.Codec nil (or picking raw) the result is bit-identical to the
+// serial RemoteParty. A lossy (FP16) pick perturbs only the REVEALED E/F
+// difference shares — the retained copy is rounded in place before the
+// sender starts, so both parties reconstruct the same public tensors and
+// the result carries the documented reveal-only tolerance instead of a
+// protocol desync.
 func (w *wireMul) mul(conn comm.Framer, a, b *tensor.Matrix, t TripletShares, fPub, dst *tensor.Matrix) (*tensor.Matrix, error) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	band := w.cfg.bandRows(m)
@@ -172,7 +197,24 @@ func (w *wireMul) mul(conn comm.Framer, a, b *tensor.Matrix, t TripletShares, fP
 		fi = w.get(k, n)
 		tensor.Sub(fi, b, t.V)
 	}
-	w.launch(conn, fi, ei, band)
+	// Codec election, then use-what-you-ship: an FP16 pick rounds the
+	// retained share in place BEFORE the sender goroutine starts, so the
+	// local reconstruction sees exactly the values the peer receives (and
+	// the concurrent encoder never races a mutation).
+	eKind, fKind := codecRaw, codecRaw
+	if wc := w.cfg.Codec; wc != nil {
+		eKind = wc.pick(ei, tensorE)
+		if eKind == codecFP16 {
+			tensor.RoundMatrixFloat16InPlace(ei)
+		}
+		if fi != nil {
+			fKind = wc.pick(fi, tensorF)
+			if fKind == codecFP16 {
+				tensor.RoundMatrixFloat16InPlace(fi)
+			}
+		}
+	}
+	w.launch(conn, fi, ei, band, fKind, eKind)
 
 	// Per-phase accumulators: the banded loop interleaves transfer waits,
 	// Eq. 5 reconstruction, and Eq. 8 compute, so each is summed across
@@ -191,7 +233,9 @@ func (w *wireMul) mul(conn comm.Framer, a, b *tensor.Matrix, t TripletShares, fP
 		}
 		w.recvBuf = frame
 		peerF := w.get(k, n)
-		if _, err := tensor.DecodeMatrixInto(peerF, frame); err != nil {
+		// Tag-dispatched: the peer's codec choice is sender-local, the
+		// frame says what it is (raw senders emit plain 'D' frames).
+		if _, err := tensor.DecodeAnyInto(peerF, frame); err != nil {
 			return nil, fmt.Errorf("mpc: decode peer F: %w", err)
 		}
 		t0 = time.Now()
@@ -219,7 +263,7 @@ func (w *wireMul) mul(conn comm.Framer, a, b *tensor.Matrix, t TripletShares, fP
 		}
 		w.recvBuf = frame
 		pb := peerBand.SliceRowsInto(&w.pbView, 0, rows)
-		if _, err := tensor.DecodeMatrixInto(pb, frame); err != nil {
+		if _, err := tensor.DecodeAnyInto(pb, frame); err != nil {
 			return nil, fmt.Errorf("mpc: decode E band %d: %w", lo/band, err)
 		}
 		// Reconstruct the band of the public E and fuse it (Eqs. 5, 8).
@@ -260,6 +304,9 @@ func (w *wireMul) mul(conn comm.Framer, a, b *tensor.Matrix, t TripletShares, fP
 		}
 		return nil, fmt.Errorf("mpc: send E/F: %w", sendErr)
 	}
+	// Feed the measured link rate back into the codec's byte budget: what
+	// we shipped over the summed transfer waits of this exchange.
+	w.cfg.Codec.ObserveLink(w.sentBytes, exchDur)
 	metrics.phaseExchange.Observe(exchDur)
 	metrics.phaseReconstruct.Observe(reconDur)
 	metrics.phaseGemm.Observe(gemmDur)
@@ -271,9 +318,14 @@ func (w *wireMul) mul(conn comm.Framer, a, b *tensor.Matrix, t TripletShares, fP
 // re-share round costs max(two one-way transfers), not their sum. The
 // received frame is decoded into recvDst only after the sender drained,
 // so recvDst may alias the sent matrix (a share being replaced in place).
+//
+// swap carries RAW shares (activation re-shares and masks) and is
+// deliberately codec-free in both directions: lossy-encoding a share
+// would corrupt the secret sharing itself, not a revealed public value,
+// so the receive path also insists on the dense format.
 func (w *wireMul) swap(conn comm.Framer, send, recvDst *tensor.Matrix) error {
 	span := metrics.phaseExchange.Start()
-	w.launch(conn, send, nil, 0)
+	w.launch(conn, send, nil, 0, codecRaw, codecRaw)
 	frame, err := readFrameInto(conn, w.recvBuf)
 	if err != nil {
 		return err

@@ -76,11 +76,15 @@ func (c *CSR) Bytes() int {
 }
 
 // CompressionWorthwhile reports whether encoding m as CSR is smaller than
-// sending it dense — the run-time check behind the ≥75 % rule. (At exactly
-// 50 % zeros CSR breaks even on index overhead; the paper's 75 % threshold
-// leaves margin.)
+// sending it dense — the run-time check behind the ≥75 % rule. The
+// sparsity threshold alone is not sufficient: the (rows+1) row pointers
+// and per-value column indices are pure overhead, so at small matrices a
+// 75 %-sparse CSR frame can still be the LARGER encoding (a 2×2 with one
+// value: 25 dense bytes vs 33 CSR bytes). Both conditions must hold —
+// sparse enough for the paper's rule AND strictly fewer encoded bytes.
 func CompressionWorthwhile(m *Matrix, sparsityThreshold float64) bool {
-	return m.Sparsity() >= sparsityThreshold
+	return m.Sparsity() >= sparsityThreshold &&
+		EncodedSizeCSR(m.Rows, m.Cols, m.NNZ()) < EncodedSizeDense(m.Rows, m.Cols)
 }
 
 // SpMV computes dst = c × x for a dense vector x (length Cols); dst must

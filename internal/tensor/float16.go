@@ -93,3 +93,14 @@ func RoundMatrixFloat16(dst, a *Matrix) {
 		}
 	})
 }
+
+// RoundMatrixFloat16InPlace rounds m through binary16 on the calling
+// goroutine. The wire codec's "use what you ship" contract needs this on
+// the serving hot path: a sender electing the FP16 format must round its
+// retained share before encoding, and spawning parallelFor goroutines
+// there would put allocations back on the 2 allocs/op request loop.
+func RoundMatrixFloat16InPlace(m *Matrix) {
+	for i, v := range m.Data {
+		m.Data[i] = RoundFloat16(v)
+	}
+}

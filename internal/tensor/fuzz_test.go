@@ -31,6 +31,44 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzDecodeAnyCodec drives the in-place multi-format receive path — the
+// decoder the adaptive wire codec puts on the serving hot path — with
+// arbitrary bytes against a fixed-shape destination. Success must consume
+// a sane byte count; failure must leave no panic and no over-read. Seeds
+// cover all three tags plus the documented hostile shapes: malformed tag,
+// truncated payloads, and CSR frames claiming nnz > rows*cols.
+func FuzzDecodeAnyCodec(f *testing.F) {
+	m := New(3, 4)
+	m.Set(1, 2, 1.5)
+	m.Set(0, 3, -2)
+	f.Add(EncodeMatrix(nil, m))
+	f.Add(EncodeMatrixFP16(nil, m))
+	f.Add(AppendMatrixCSR(nil, m))
+	f.Add([]byte{'X', 3, 0, 0, 0, 4, 0, 0, 0})                            // unknown tag
+	f.Add(EncodeMatrixFP16(nil, m)[:11])                                  // truncated FP16 payload
+	f.Add(AppendMatrixCSR(nil, m)[:14])                                   // truncated CSR rowptr
+	f.Add([]byte{'S', 3, 0, 0, 0, 4, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})    // nnz >> rows*cols
+	f.Add([]byte{'S', 3, 0, 0, 0, 4, 0, 0, 0, 13, 0, 0, 0, 0, 0, 0, 0})   // nnz 13 > 12
+	f.Add([]byte{'H', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0}) // huge claimed shape
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := New(3, 4)
+		n, err := DecodeAnyInto(dst, data)
+		if err != nil {
+			// The destination stays a valid 3x4 even after a mid-scatter
+			// CSR validation failure.
+			_ = dst.NNZ()
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		// A decoded frame must round-trip through the allocating Decode too.
+		if _, _, _, err := Decode(data[:n]); err != nil {
+			t.Fatalf("DecodeAnyInto accepted a frame Decode rejects: %v", err)
+		}
+	})
+}
+
 // Property: random single-byte corruption of a valid frame either fails to
 // decode or decodes without panicking (bit flips in the float payload are
 // legitimately undetectable in this header-checked format).
