@@ -35,8 +35,10 @@ import (
 	"time"
 
 	"parsecureml/internal/comm"
+	"parsecureml/internal/fleet"
 	"parsecureml/internal/hw"
 	"parsecureml/internal/mpc"
+	"parsecureml/internal/mpc/tripletpool"
 	"parsecureml/internal/obs"
 )
 
@@ -59,6 +61,13 @@ func main() {
 	batchMaxRows := flag.Int("batch-max-rows", 0, "cap on a batch's stacked E rows; reaching it dispatches immediately (0 selects the default; requires batching)")
 	planner := flag.Bool("planner", false, "drive the batch window and band height from the hw cost models plus measured exchange costs instead of static values (enables batching)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
+	dealerDial := flag.String("dealer-dial", "", "dial a psml-dealer here and serve dealer-fed (two-matrix) requests from its triplet streams (requires -pair-id; both parties of the pair must configure it)")
+	pairID := flag.Uint64("pair-id", 0, "this server pair's identity at the dealer; both parties must agree (requires -dealer-dial)")
+	feedDepth := flag.Int("triplet-feed-depth", 8, "per-shape credit headroom kept with the dealer (requires -dealer-dial)")
+	routerRegister := flag.String("router-register", "", "register this server pair with the psml-router health listener at this address (run on ONE party per pair; requires the -advertise flags)")
+	replicaName := flag.String("replica-name", "", "this pair's stable identity on the router's consistent-hash ring (requires -router-register)")
+	advertise0 := flag.String("advertise-party0", "", "party 0's client address as the router should dial it (requires -router-register)")
+	advertise1 := flag.String("advertise-party1", "", "party 1's client address as the router should dial it (requires -router-register)")
 	flag.Parse()
 
 	if *party != 0 && *party != 1 {
@@ -79,6 +88,12 @@ func main() {
 	}
 	if *batchMaxRows != 0 && *batchWindow <= 0 && !*planner {
 		log.Fatalf("-batch-max-rows requires -batch-window or -planner")
+	}
+	if (*dealerDial == "") != (*pairID == 0) {
+		log.Fatalf("-dealer-dial and -pair-id go together")
+	}
+	if *routerRegister != "" && (*replicaName == "" || *advertise0 == "" || *advertise1 == "") {
+		log.Fatalf("-router-register requires -replica-name, -advertise-party0 and -advertise-party1")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -158,6 +173,44 @@ func main() {
 		ClientTimeout: *clientTimeout,
 		PeerTimeout:   *peerTimeout,
 		Log:           logger,
+	}
+
+	// Trusted-dealer feed: connect to the precompute tier and serve the
+	// two-matrix request form from its triplet streams. The connection is
+	// retried at startup (dealer and servers race to come up); a feed
+	// that dies later fails dealer-fed requests, which a fleet absorbs by
+	// re-routing — see tripletpool.DealerClient.
+	if *dealerDial != "" {
+		dc, err := comm.DialRetry(*dealerDial, comm.RetryConfig{})
+		if err != nil {
+			log.Fatalf("dealer dial: %v", err)
+		}
+		feed, err := tripletpool.NewDealerClient(dc, *party, *pairID, tripletpool.FeedConfig{Depth: *feedDepth})
+		if err != nil {
+			log.Fatalf("dealer feed: %v", err)
+		}
+		defer feed.Close()
+		cfg.Feed = feed
+		log.Printf("party %d: dealer-fed triplets from %s (pair %d)", *party, *dealerDial, *pairID)
+	}
+
+	// Fleet registration: announce this pair to the router and keep the
+	// health link alive. One party per pair runs this; serving does not
+	// depend on it (a router outage only stops NEW fleet traffic).
+	if *routerRegister != "" {
+		agent, err := fleet.StartAgent(ctx, *routerRegister, fleet.Replica{
+			Name: *replicaName,
+			Addr: [2]string{*advertise0, *advertise1},
+		}, comm.SupervisorConfig{
+			HeartbeatInterval: *peerHeartbeat,
+			MissBudget:        *peerMissBudget,
+			ReconnectAttempts: 30, // outlast a router restart
+		}, logger)
+		if err != nil {
+			log.Fatalf("router register: %v", err)
+		}
+		defer agent.Close()
+		log.Printf("party %d: registered replica %q with router %s", *party, *replicaName, *routerRegister)
 	}
 	if *wirePipeline {
 		cfg.Wire = &mpc.WireConfig{ChunkRows: *wireChunkRows}

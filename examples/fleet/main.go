@@ -1,0 +1,237 @@
+// Fleet drill client: drives many concurrent sessions through a
+// psml-router fronting dealer-fed psml-server pairs, survives a replica
+// pair being killed mid-run, and then PROVES the fleet computed the
+// right thing — every session's every product, including the re-routed
+// ones, must be BIT-identical to an in-process reference pair using
+// client-dealt triplets from the dealer's deterministic streams.
+//
+// The bit-identity argument: each (session, round) uses its own GEMM
+// shape, so wherever the request executes — original replica, survivor
+// after a re-route, even a re-execution — it consumes sequence 0 of
+// that shape's triplet stream, and a seeded dealer serves the same
+// per-shape streams to every pair. With splits derived from
+// deterministic per-request seeds, the floating-point inputs match the
+// reference exactly, so the outputs must too.
+//
+// The kill choreography is file-based so a driving script needs no
+// protocol: after every session finishes -kill-round rounds the client
+// touches -ready-file and blocks; the script kills one replica pair,
+// touches -killed-file, and the surviving rounds run against the
+// reduced fleet.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"parsecureml/internal/comm"
+	"parsecureml/internal/mpc"
+	"parsecureml/internal/mpc/tripletpool"
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+// seedFor derives the split randomness of one (session, round) request
+// from the drill seed — reproducible in the reference phase without
+// shipping any state around.
+func seedFor(base uint64, session, round int) uint64 {
+	return tripletpool.StreamSeed(base^0xf1ee7, session+1, round+1, 1)
+}
+
+// shapeFor assigns every (session, round) its own GEMM geometry, which
+// pins every request to sequence 0 of its own triplet stream — the
+// property that keeps re-routed requests bit-reproducible.
+func shapeFor(session, round int) (m, k, n int) {
+	return 4 + session, 6 + round, 5
+}
+
+// request runs one secure multiplication and returns the served
+// product. Dealer-fed form when t0 is nil, classic 5-matrix otherwise.
+func request(c0, c1 *comm.Conn, id uint64, seed uint64, session, round int, t0, t1 *mpc.TripletShares) (*tensor.Matrix, error) {
+	m, k, n := shapeFor(session, round)
+	p := rng.NewPool(seed)
+	a := p.NewUniform(m, k, -1, 1)
+	b := p.NewUniform(k, n, -1, 1)
+	a0, a1 := mpc.SplitRand(p, a)
+	b0, b1 := mpc.SplitRand(p, b)
+	in0 := mpc.Shares{A: a0, B: b0}
+	in1 := mpc.Shares{A: a1, B: b1}
+	if t0 != nil {
+		in0.T, in1.T = *t0, *t1
+	}
+	got, err := mpc.RequestMulID(id, c0, c1, in0, in1)
+	if err != nil {
+		return nil, err
+	}
+	if !got.ApproxEqual(tensor.MulNaive(a, b), 1e-2) {
+		return nil, fmt.Errorf("product off the plaintext by %v", got.MaxAbsDiff(tensor.MulNaive(a, b)))
+	}
+	return got, nil
+}
+
+func touch(path string) {
+	if err := os.WriteFile(path, []byte("ok\n"), 0o644); err != nil {
+		log.Fatalf("touch %s: %v", path, err)
+	}
+}
+
+func waitFile(path string, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatalf("timed out waiting for %s", path)
+}
+
+func main() {
+	face0 := flag.String("face0", "", "router party-0 face address (required)")
+	face1 := flag.String("face1", "", "router party-1 face address (required)")
+	sessions := flag.Int("sessions", 64, "concurrent client sessions")
+	rounds := flag.Int("rounds", 6, "secure multiplications per session")
+	killRound := flag.Int("kill-round", 0, "rounds every session completes before the kill barrier (0 disables the barrier)")
+	dealerSeed := flag.Uint64("dealer-seed", 0, "the dealer's -seed; the reference phase replays its triplet streams (required, nonzero)")
+	readyFile := flag.String("ready-file", "", "touched when all sessions reach the kill barrier (requires -kill-round)")
+	killedFile := flag.String("killed-file", "", "the barrier lifts when this file appears (requires -kill-round)")
+	flag.Parse()
+	if *face0 == "" || *face1 == "" || *dealerSeed == 0 {
+		log.Fatal("-face0, -face1 and a nonzero -dealer-seed are required")
+	}
+	if *killRound > 0 && (*readyFile == "" || *killedFile == "") {
+		log.Fatal("-kill-round requires -ready-file and -killed-file")
+	}
+
+	// ---- Fleet phase: all sessions concurrently through the router.
+	results := make([][]*tensor.Matrix, *sessions)
+	for j := range results {
+		results[j] = make([]*tensor.Matrix, *rounds)
+	}
+	killed := make(chan struct{})
+	var atBarrier sync.WaitGroup
+	if *killRound > 0 {
+		atBarrier.Add(*sessions)
+		go func() {
+			atBarrier.Wait()
+			touch(*readyFile)
+			log.Printf("all %d sessions at the kill barrier; waiting for %s", *sessions, *killedFile)
+			waitFile(*killedFile, 2*time.Minute)
+			close(killed)
+		}()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, *sessions)
+	for j := 0; j < *sessions; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			retry := comm.RetryConfig{Attempts: 30, BaseDelay: 50 * time.Millisecond}
+			c0, err := comm.DialRetry(*face0, retry)
+			if err != nil {
+				errs <- fmt.Errorf("session %d: face 0: %w", j, err)
+				return
+			}
+			defer c0.Close()
+			c1, err := comm.DialRetry(*face1, retry)
+			if err != nil {
+				errs <- fmt.Errorf("session %d: face 1: %w", j, err)
+				return
+			}
+			defer c1.Close()
+			c0.SetTimeouts(60*time.Second, 60*time.Second)
+			c1.SetTimeouts(60*time.Second, 60*time.Second)
+			for r := 0; r < *rounds; r++ {
+				if *killRound > 0 && r == *killRound {
+					atBarrier.Done()
+					<-killed
+				}
+				id := uint64(1)<<40 | uint64(j)<<20 | uint64(r)
+				got, err := request(c0, c1, id, seedFor(*dealerSeed, j, r), j, r, nil, nil)
+				if err != nil {
+					errs <- fmt.Errorf("session %d round %d: %w", j, r, err)
+					return
+				}
+				results[j][r] = got
+			}
+		}(j)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		log.Fatalf("fleet phase: %v", err)
+	}
+	log.Printf("fleet phase done: %d sessions × %d rounds served", *sessions, *rounds)
+
+	// ---- Reference phase: one in-process pair, client-dealt triplets
+	// from the dealer's streams. Same splits, same ids, fresh serving
+	// stack with zero fleet machinery.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	peerA, peerB := comm.Pipe()
+	ln0, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln1, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mpc.ServeConfig{ClientTimeout: 60 * time.Second, PeerTimeout: 60 * time.Second}
+	var serveWG sync.WaitGroup
+	serveWG.Add(2)
+	go func() {
+		defer serveWG.Done()
+		if err := mpc.ServeClients(ctx, 0, ln0, peerA, cfg); err != nil {
+			log.Fatalf("reference server 0: %v", err)
+		}
+	}()
+	go func() {
+		defer serveWG.Done()
+		if err := mpc.ServeClients(ctx, 1, ln1, peerB, cfg); err != nil {
+			log.Fatalf("reference server 1: %v", err)
+		}
+	}()
+	retry := comm.RetryConfig{Attempts: 30, BaseDelay: 50 * time.Millisecond}
+	rc0, err := comm.DialRetry(ln0.Addr().String(), retry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rc1, err := comm.DialRetry(ln1.Addr().String(), retry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rc0.SetTimeouts(60*time.Second, 60*time.Second)
+	rc1.SetTimeouts(60*time.Second, 60*time.Second)
+	src := tripletpool.NewStreamSource(*dealerSeed)
+	mismatches := 0
+	for j := 0; j < *sessions; j++ {
+		for r := 0; r < *rounds; r++ {
+			m, k, n := shapeFor(j, r)
+			t0, t1 := src.Gen(m, k, n) // sequence 0 of this request's own stream
+			id := uint64(1)<<40 | uint64(j)<<20 | uint64(r)
+			want, err := request(rc0, rc1, id, seedFor(*dealerSeed, j, r), j, r, &t0, &t1)
+			if err != nil {
+				log.Fatalf("reference session %d round %d: %v", j, r, err)
+			}
+			if !results[j][r].Equal(want) {
+				mismatches++
+				log.Printf("MISMATCH session %d round %d: fleet result differs from reference by %v",
+					j, r, results[j][r].MaxAbsDiff(want))
+			}
+		}
+	}
+	rc0.Close()
+	rc1.Close()
+	cancel()
+	serveWG.Wait()
+	if mismatches > 0 {
+		log.Fatalf("%d of %d results diverged from the reference", mismatches, *sessions**rounds)
+	}
+	fmt.Printf("fleet drill PASS: %d sessions × %d rounds bit-identical to the reference pair\n", *sessions, *rounds)
+}

@@ -102,6 +102,7 @@ var (
 	muxStaleFrames    atomic.Int64 // shed: tombstoned ids, unknown CLOSEs
 	muxEvictedFrames  atomic.Int64 // pending buffer evictions
 	muxOverflows      atomic.Int64 // sessions killed by inbox overflow
+	muxTombWraps      atomic.Int64 // tombstones forgotten by ring wraparound
 	muxFramesIn       atomic.Int64 // frames the demux reader routed
 	muxFramesOut      atomic.Int64 // frames the link writer put on the wire
 	muxBytesIn        atomic.Int64 // routed frame bytes, headers included
@@ -116,6 +117,7 @@ type MuxStats struct {
 	StaleFrames    int64 // frames shed (tombstoned or unroutable)
 	EvictedFrames  int64 // pending frames evicted under pressure
 	Overflows      int64 // sessions killed by inbox overflow
+	TombstoneWraps int64 // closed ids forgotten because the tombstone ring wrapped
 	FramesIn       int64 // frames routed off peer links (data + control)
 	FramesOut      int64 // frames written to peer links (data + control)
 	BytesIn        int64 // bytes routed off peer links, mux headers included
@@ -131,6 +133,7 @@ func MuxTotals() MuxStats {
 		StaleFrames:    muxStaleFrames.Load(),
 		EvictedFrames:  muxEvictedFrames.Load(),
 		Overflows:      muxOverflows.Load(),
+		TombstoneWraps: muxTombWraps.Load(),
 		FramesIn:       muxFramesIn.Load(),
 		FramesOut:      muxFramesOut.Load(),
 		BytesIn:        muxBytesIn.Load(),
@@ -153,7 +156,22 @@ type MuxConfig struct {
 	// Defaults 256 frames / 64 MiB.
 	PendingFrames int
 	PendingBytes  int64
+	// TombstoneIDs bounds how many recently closed session ids are
+	// remembered (to shed their late frames and fail fast a late Open).
+	// Once session churn wraps the ring, a late frame for an id older
+	// than the oldest remembered tombstone is no longer recognized as
+	// stale — it parks in the pending buffer and a subsequent Open of a
+	// recycled id would receive it. Size the ring well above the number
+	// of sessions that can close within one peer read timeout (a router
+	// fronting many clients churns ids far faster than a single serving
+	// loop); wraparounds are counted on MuxStats.TombstoneWraps. Default
+	// DefaultTombstoneIDs.
+	TombstoneIDs int
 }
+
+// DefaultTombstoneIDs is the closed-session memory when
+// MuxConfig.TombstoneIDs is unset.
+const DefaultTombstoneIDs = 1024
 
 func (c MuxConfig) withDefaults() MuxConfig {
 	if c.InboxFrames <= 0 {
@@ -165,12 +183,11 @@ func (c MuxConfig) withDefaults() MuxConfig {
 	if c.PendingBytes <= 0 {
 		c.PendingBytes = 64 << 20
 	}
+	if c.TombstoneIDs <= 0 {
+		c.TombstoneIDs = DefaultTombstoneIDs
+	}
 	return c
 }
-
-// tombstoneRing bounds how many recently closed session ids are
-// remembered (to shed their late frames and fail fast a late Open).
-const tombstoneRing = 1024
 
 // muxWrite is one queued outgoing frame: header + payload parts for a
 // single vectored write, and the ack channel the blocked sender waits on.
@@ -204,7 +221,7 @@ type Mux struct {
 	pending      []muxPending
 	pendingBytes int64
 	tombs        map[uint64]struct{}
-	tombRing     [tombstoneRing]uint64
+	tombRing     []uint64 // len cfg.TombstoneIDs
 	tombNext     int
 	tombFull     bool
 
@@ -224,6 +241,7 @@ func NewMux(c Framer, cfg MuxConfig) *Mux {
 		sessions: make(map[uint64]*MuxSession),
 		tombs:    make(map[uint64]struct{}),
 	}
+	m.tombRing = make([]uint64, m.cfg.TombstoneIDs)
 	go m.readLoop()
 	go m.writeLoop()
 	return m
@@ -323,18 +341,22 @@ func (m *Mux) wakeWriter() {
 }
 
 // tombstoneLocked remembers id as closed, evicting the oldest remembered
-// id once the ring is full. Callers hold m.mu.
+// id once the ring is full. Every eviction is one id whose late frames
+// can no longer be recognized as stale, counted on TombstoneWraps so
+// an under-sized ring is visible before it mis-delivers. Callers hold
+// m.mu.
 func (m *Mux) tombstoneLocked(id uint64) {
 	if _, ok := m.tombs[id]; ok {
 		return
 	}
 	if m.tombFull {
 		delete(m.tombs, m.tombRing[m.tombNext])
+		muxTombWraps.Add(1)
 	}
 	m.tombRing[m.tombNext] = id
 	m.tombs[id] = struct{}{}
 	m.tombNext++
-	if m.tombNext == tombstoneRing {
+	if m.tombNext == len(m.tombRing) {
 		m.tombNext = 0
 		m.tombFull = true
 	}

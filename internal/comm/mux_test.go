@@ -2,6 +2,7 @@ package comm
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -360,5 +361,103 @@ func TestMuxCloseDrainsBufferedFrames(t *testing.T) {
 	}
 	if _, err := sb.ReadFrame(); !errors.Is(err, ErrMuxPeerClosed) {
 		t.Fatalf("drained read err=%v, want ErrMuxPeerClosed", err)
+	}
+}
+
+// TestMuxTombstoneRingWraparound pins the closed-id memory contract:
+// the ring remembers the last TombstoneIDs closed sessions, wrapping
+// evicts the oldest (counted on TombstoneWraps), and an id that wrapped
+// out is no longer recognized — a late frame for it is queued for a
+// future Open instead of shed. The configurable size exists precisely
+// so long-lived links size the ring above their session churn.
+func TestMuxTombstoneRingWraparound(t *testing.T) {
+	ca, cb := Pipe()
+	defer ca.Close()
+	mb := NewMux(cb, MuxConfig{ReadTimeout: 2 * time.Second, TombstoneIDs: 4})
+	defer mb.Close()
+	wrapsBefore := MuxTotals().TombstoneWraps
+	// Close five sessions through a four-slot ring: id 1 wraps out.
+	for id := uint64(1); id <= 5; id++ {
+		s, err := mb.Open(id)
+		if err != nil {
+			t.Fatalf("Open(%d): %v", id, err)
+		}
+		s.Close()
+	}
+	if d := MuxTotals().TombstoneWraps - wrapsBefore; d != 1 {
+		t.Fatalf("TombstoneWraps delta = %d, want 1", d)
+	}
+	// Ids still remembered are refused; the wrapped-out id is not.
+	if _, err := mb.Open(5); !errors.Is(err, ErrMuxSessionClosed) {
+		t.Fatalf("Open(5) err = %v, want ErrMuxSessionClosed", err)
+	}
+	// A late data frame for the forgotten id is indistinguishable from a
+	// peer running ahead: it parks as pending and a fresh Open(1)
+	// receives it. This is the mis-delivery an undersized ring risks —
+	// asserted here so the hazard stays visible and counted.
+	raw := make([]byte, MuxHeaderBytes, MuxHeaderBytes+5)
+	binary.LittleEndian.PutUint64(raw, 1)
+	raw[8] = muxKindData
+	raw = append(raw, []byte("stale")...)
+	if err := ca.WriteFrame(raw); err != nil {
+		t.Fatalf("raw frame write: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mb.mu.Lock()
+		n := len(mb.pending)
+		mb.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s1, err := mb.Open(1)
+	if err != nil {
+		t.Fatalf("Open(1) after wraparound: %v", err)
+	}
+	f, err := s1.ReadFrame()
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if string(f) != "stale" {
+		t.Fatalf("got %q, want the late frame", f)
+	}
+}
+
+// TestMuxTombstoneRingSized is the fix-side half of the wraparound
+// regression: a ring sized above the churn keeps refusing every closed
+// id, so late frames for them are shed as stale rather than delivered
+// to a reused id.
+func TestMuxTombstoneRingSized(t *testing.T) {
+	ca, cb := Pipe()
+	defer ca.Close()
+	mb := NewMux(cb, MuxConfig{ReadTimeout: 2 * time.Second, TombstoneIDs: 16})
+	defer mb.Close()
+	shedBefore := MuxTotals().StaleFrames
+	for id := uint64(1); id <= 5; id++ {
+		s, err := mb.Open(id)
+		if err != nil {
+			t.Fatalf("Open(%d): %v", id, err)
+		}
+		s.Close()
+	}
+	for id := uint64(1); id <= 5; id++ {
+		if _, err := mb.Open(id); !errors.Is(err, ErrMuxSessionClosed) {
+			t.Fatalf("Open(%d) err = %v, want ErrMuxSessionClosed", id, err)
+		}
+	}
+	raw := make([]byte, MuxHeaderBytes)
+	binary.LittleEndian.PutUint64(raw, 1)
+	raw[8] = muxKindData
+	if err := ca.WriteFrame(raw); err != nil {
+		t.Fatalf("raw frame write: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for MuxTotals().StaleFrames == shedBefore && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if MuxTotals().StaleFrames == shedBefore {
+		t.Fatal("late frame for a remembered tombstone was not shed")
 	}
 }

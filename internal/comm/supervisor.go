@@ -261,9 +261,10 @@ type SupervisedLink struct {
 	gen         int
 	closed      bool
 	err         error
-	nextSeq     uint64 // next outbound data sequence number (first is 1)
-	delivered   uint64 // highest inbound seq handed to the inbox
-	peerAck     uint64 // highest outbound seq the peer confirmed
+	onReconnect []func() // run after every successful re-establishment
+	nextSeq     uint64   // next outbound data sequence number (first is 1)
+	delivered   uint64   // highest inbound seq handed to the inbox
+	peerAck     uint64   // highest outbound seq the peer confirmed
 	replay      []supFrame
 	replayBytes int64
 
@@ -371,6 +372,30 @@ func (s *SupervisedLink) stopConn(sc *supConn) {
 	sc.wg.Wait()
 }
 
+// OnReconnect registers f to run after every successful link
+// re-establishment (resync complete, connection installed). The path
+// under a reconnected link is a different path — a new route, a
+// different congestion state — so state learned from the previous
+// incarnation (bandwidth estimates, RTT baselines) is stale; this is
+// the hook that lets its owners reset it. Callbacks run on the
+// supervisor goroutine, after the new connection is live, and must not
+// block.
+func (s *SupervisedLink) OnReconnect(f func()) {
+	s.mu.Lock()
+	s.onReconnect = append(s.onReconnect, f)
+	s.mu.Unlock()
+}
+
+// notifyReconnect runs the registered reconnect callbacks.
+func (s *SupervisedLink) notifyReconnect() {
+	s.mu.Lock()
+	cbs := append([]func(){}, s.onReconnect...)
+	s.mu.Unlock()
+	for _, f := range cbs {
+		f()
+	}
+}
+
 // supervise replaces dead connections until the link closes or a
 // reconnect cycle fails for good.
 func (s *SupervisedLink) supervise(sc *supConn) {
@@ -388,6 +413,7 @@ func (s *SupervisedLink) supervise(sc *supConn) {
 			return
 		}
 		supReconnects.Add(1)
+		s.notifyReconnect()
 		sc = nc
 	}
 }

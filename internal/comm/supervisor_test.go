@@ -596,3 +596,41 @@ func TestFaultConnDropAfterFramesFragmented(t *testing.T) {
 func isClosedErr(err error) bool {
 	return err != nil && (errors.Is(err, net.ErrClosed) || errors.Is(err, ErrInjected))
 }
+
+// TestSupervisedLinkOnReconnectHook checks registered callbacks fire on
+// every successful reconnect — the hook stale-rate-estimate consumers
+// (the wire codec's bandwidth EWMA) use to reset per-link state when
+// the underlying connection is replaced.
+func TestSupervisedLinkOnReconnectHook(t *testing.T) {
+	var fired atomic.Int64
+	a, b := supPair(t, fastSupCfg(), fastSupCfg(), func(inc int, raw net.Conn) net.Conn {
+		fc := NewFaultConn(raw)
+		if inc == 0 {
+			fc.DropAfterFrames(5)
+		}
+		return fc
+	})
+	b.OnReconnect(func() { fired.Add(1) })
+	const n = 50
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := b.WriteFrame(payload(i)); err != nil {
+				errc <- fmt.Errorf("write %d: %w", i, err)
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < n; i++ {
+		if _, err := a.ReadFrame(); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() < 1 {
+		t.Fatal("OnReconnect callback did not fire across a reconnect")
+	}
+}

@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"parsecureml/internal/comm"
+)
+
+func TestJoinFrameRoundTrip(t *testing.T) {
+	rep := Replica{Name: "pair-a", Addr: [2]string{"10.0.0.1:9100", "10.0.0.2:9100"}}
+	got, err := decodeJoin(encodeJoin(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rep {
+		t.Fatalf("round trip %+v != %+v", got, rep)
+	}
+	for _, bad := range [][]byte{nil, {1, 2, 3}, append(encodeJoin(rep), 0xFF)} {
+		if _, err := decodeJoin(bad); err == nil {
+			t.Fatalf("malformed JOIN frame %v accepted", bad)
+		}
+	}
+}
+
+// TestHealthJoinAndDeath runs the full membership lifecycle over real
+// TCP: an agent joins and appears in the registry; when the agent dies
+// (process gone — no more heartbeats, no redial) the router-side link
+// exhausts its budget and the registry drops the replica.
+func TestHealthJoinAndDeath(t *testing.T) {
+	reg := NewRegistry(0)
+	h := NewHealthServer(reg, HealthConfig{
+		Sup: comm.SupervisorConfig{
+			HeartbeatInterval: 10 * time.Millisecond,
+			MissBudget:        3,
+			ReconnectAttempts: 2,
+		},
+		AcceptWait: 100 * time.Millisecond,
+	})
+	ln, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- h.Serve(ctx, ln) }()
+
+	agentCtx, stopAgent := context.WithCancel(context.Background())
+	defer stopAgent()
+	rep := Replica{Name: "pair-a", Addr: [2]string{"127.0.0.1:1", "127.0.0.1:2"}}
+	sl, err := StartAgent(agentCtx, ln.Addr().String(), rep, comm.SupervisorConfig{
+		HeartbeatInterval: 10 * time.Millisecond,
+		MissBudget:        3,
+		ReconnectAttempts: 5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor := func(want int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for reg.Size() != want && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if reg.Size() != want {
+			t.Fatalf("registry size %d, want %d (%s)", reg.Size(), want, what)
+		}
+	}
+	waitFor(1, "after agent join")
+	if got, ok := reg.Pick(42); !ok || got.Name != "pair-a" {
+		t.Fatalf("Pick after join: %+v ok=%v", got, ok)
+	}
+	// Kill the replica: its heartbeats stop and it never dials back.
+	sl.Close()
+	stopAgent()
+	waitFor(0, "after agent death")
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("health serve: %v", err)
+	}
+}

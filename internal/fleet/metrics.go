@@ -1,0 +1,20 @@
+package fleet
+
+import "parsecureml/internal/obs"
+
+// Router observability: membership churn, session routing, and the
+// failure/re-route path. Registered on obs.Default like every other
+// psml_* family; cmd/psml-router's -debug-addr exposes them.
+var (
+	routerReplicas = obs.Default.Gauge("psml_router_replicas", "Server-pair replicas currently registered.")
+	routerJoins    = obs.Default.Counter("psml_router_joins_total", "Replica registrations accepted.")
+	routerLeaves   = obs.Default.Counter("psml_router_leaves_total", "Replicas removed from the registry (health-link death or observed failure).")
+
+	routerSessions       = obs.Default.Counter("psml_router_sessions_total", "Client connections accepted across both faces.")
+	routerSessionsActive = obs.Default.Gauge("psml_router_sessions_active", "Client connections currently proxied.")
+	routerRequests       = obs.Default.Counter("psml_router_requests_total", "Requests relayed to replicas.")
+	routerReroutes       = obs.Default.Counter("psml_router_reroutes_total", "Sessions moved to a different replica after their backend failed.")
+	routerRetries        = obs.Default.Counter("psml_router_retries_total", "Request re-sends after a backend failure (same or new replica).")
+	routerFailures       = obs.Default.Counter("psml_router_request_failures_total", "Requests abandoned after exhausting backend retries.")
+	routerNoReplicas     = obs.Default.Counter("psml_router_no_replica_total", "Routing attempts that found an empty registry.")
+)

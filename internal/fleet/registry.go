@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Replica is one registered server pair: a name (the consistent-hash
+// identity — stable across restarts if the operator keeps it stable)
+// and the client-facing addresses of its two parties.
+type Replica struct {
+	Name string
+	Addr [2]string // Addr[party]
+}
+
+// Registry is the router's live membership view: replicas join through
+// the health listener, leave when their health link dies (or a proxy
+// observes them dead first), and every change rebuilds the ring. Reads
+// (Pick) are lock-cheap and deterministic, so the two faces of one
+// session converge on the same replica from the same membership.
+type Registry struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	members map[string]Replica
+	ring    *Ring
+	gen     uint64 // bumped on every membership change
+}
+
+// NewRegistry constructs an empty registry. vnodes <= 0 selects
+// DefaultVnodes.
+func NewRegistry(vnodes int) *Registry {
+	return &Registry{vnodes: vnodes, members: make(map[string]Replica), ring: BuildRing(nil, vnodes)}
+}
+
+func (r *Registry) rebuildLocked() {
+	names := make([]string, 0, len(r.members))
+	for n := range r.members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	r.ring = BuildRing(names, r.vnodes)
+	r.gen++
+}
+
+// Join adds (or refreshes) a replica. Returns an error only on a
+// malformed record.
+func (r *Registry) Join(rep Replica) error {
+	if rep.Name == "" || rep.Addr[0] == "" || rep.Addr[1] == "" {
+		return fmt.Errorf("fleet: replica record incomplete: %+v", rep)
+	}
+	r.mu.Lock()
+	_, existed := r.members[rep.Name]
+	r.members[rep.Name] = rep
+	if !existed {
+		r.rebuildLocked()
+		routerReplicas.Set(int64(len(r.members)))
+		routerJoins.Inc()
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// Leave removes a replica; a no-op if it is not a member.
+func (r *Registry) Leave(name string) {
+	r.mu.Lock()
+	if _, ok := r.members[name]; ok {
+		delete(r.members, name)
+		r.rebuildLocked()
+		routerReplicas.Set(int64(len(r.members)))
+		routerLeaves.Inc()
+	}
+	r.mu.Unlock()
+}
+
+// Pick returns the replica owning key under current membership.
+func (r *Registry) Pick(key uint64) (Replica, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	name, ok := r.ring.Pick(key)
+	if !ok {
+		return Replica{}, false
+	}
+	rep, ok := r.members[name]
+	return rep, ok
+}
+
+// Size returns the current member count.
+func (r *Registry) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Generation returns the membership change counter — cheap staleness
+// checks for callers that cache a pick.
+func (r *Registry) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
+}
+
+// Snapshot returns the members sorted by name.
+func (r *Registry) Snapshot() []Replica {
+	r.mu.RLock()
+	out := make([]Replica, 0, len(r.members))
+	for _, rep := range r.members {
+		out = append(out, rep)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

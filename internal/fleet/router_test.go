@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"parsecureml/internal/comm"
+	"parsecureml/internal/mpc"
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+// startReplicaPair runs one mpc.ServeClients pair over loopback and
+// returns its two client addresses plus a kill switch.
+func startReplicaPair(t *testing.T) (addr [2]string, kill func()) {
+	t.Helper()
+	peerLn, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln0, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mpc.ServeConfig{ClientTimeout: 10 * time.Second, PeerTimeout: 10 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		peer, err := comm.Accept(peerLn)
+		peerLn.Close()
+		if err != nil {
+			t.Errorf("peer accept: %v", err)
+			return
+		}
+		defer peer.Close()
+		if err := mpc.ServeClients(ctx, 0, ln0, peer, cfg); err != nil {
+			t.Errorf("replica server 0: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		peer, err := comm.DialRetry(peerLn.Addr().String(), comm.RetryConfig{Attempts: 10, BaseDelay: 10 * time.Millisecond})
+		if err != nil {
+			t.Errorf("peer dial: %v", err)
+			return
+		}
+		defer peer.Close()
+		if err := mpc.ServeClients(ctx, 1, ln1, peer, cfg); err != nil {
+			t.Errorf("replica server 1: %v", err)
+		}
+	}()
+	var once sync.Once
+	return [2]string{ln0.Addr().String(), ln1.Addr().String()}, func() {
+		once.Do(func() {
+			cancel()
+			wg.Wait()
+		})
+	}
+}
+
+// startRouter runs both faces of a Router over reg on loopback.
+func startRouter(t *testing.T, reg *Registry) (face [2]string) {
+	t.Helper()
+	r := NewRouter(RouterConfig{
+		Registry:       reg,
+		ClientTimeout:  10 * time.Second,
+		BackendTimeout: 10 * time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	var lns [2]net.Listener
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		ln, err := comm.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		face[i] = ln.Addr().String()
+		go func(i int) { done <- r.ServeFace(ctx, lns[i], i) }(i)
+	}
+	t.Cleanup(func() {
+		cancel()
+		for i := 0; i < 2; i++ {
+			if err := <-done; err != nil {
+				t.Errorf("router face: %v", err)
+			}
+		}
+	})
+	return face
+}
+
+// routedRequest runs one classic 5-matrix request with a fixed id
+// through the router faces and checks the product.
+func routedRequest(t *testing.T, p *rng.Pool, c0, c1 *comm.Conn, id uint64) error {
+	t.Helper()
+	a := p.NewUniform(5, 6, -1, 1)
+	b := p.NewUniform(6, 4, -1, 1)
+	a0, a1 := mpc.SplitRand(p, a)
+	b0, b1 := mpc.SplitRand(p, b)
+	t0, t1 := mpc.GenGemmTripletShares(p, 5, 6, 4)
+	got, err := mpc.RequestMulID(id, c0, c1,
+		mpc.Shares{A: a0, B: b0, T: t0}, mpc.Shares{A: a1, B: b1, T: t1})
+	if err != nil {
+		return err
+	}
+	if !got.ApproxEqual(tensor.MulNaive(a, b), 1e-3) {
+		return fmt.Errorf("routed product off by %v", got.MaxAbsDiff(tensor.MulNaive(a, b)))
+	}
+	return nil
+}
+
+func dialFaces(t *testing.T, face [2]string) (c0, c1 *comm.Conn) {
+	t.Helper()
+	c0, err := comm.DialRetry(face[0], comm.RetryConfig{Attempts: 20, BaseDelay: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err = comm.DialRetry(face[1], comm.RetryConfig{Attempts: 20, BaseDelay: 10 * time.Millisecond})
+	if err != nil {
+		c0.Close()
+		t.Fatal(err)
+	}
+	c0.SetTimeouts(20*time.Second, 20*time.Second)
+	c1.SetTimeouts(20*time.Second, 20*time.Second)
+	return c0, c1
+}
+
+// TestRouterShardsAndSurvivesReplicaDeath is the fleet e2e: sessions
+// spread across two replica pairs through the router (both legs of each
+// call converging on one replica with no coordination), and when one
+// replica dies mid-session the routed session fails over to the
+// survivor and keeps serving correct products.
+func TestRouterShardsAndSurvivesReplicaDeath(t *testing.T) {
+	addrA, killA := startReplicaPair(t)
+	defer killA()
+	addrB, killB := startReplicaPair(t)
+	defer killB()
+	reg := NewRegistry(0)
+	if err := reg.Join(Replica{Name: "pair-a", Addr: addrA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Join(Replica{Name: "pair-b", Addr: addrB}); err != nil {
+		t.Fatal(err)
+	}
+	face := startRouter(t, reg)
+
+	// Phase 1: 16 sessions, ids chosen to land on both replicas.
+	p := rng.NewPool(9)
+	landed := map[string]bool{}
+	for id := uint64(1); id <= 16; id++ {
+		rep, ok := reg.Pick(id)
+		if !ok {
+			t.Fatal("pick failed with two replicas")
+		}
+		landed[rep.Name] = true
+		c0, c1 := dialFaces(t, face)
+		if err := routedRequest(t, p, c0, c1, id); err != nil {
+			t.Fatalf("session %d: %v", id, err)
+		}
+		c0.Close()
+		c1.Close()
+	}
+	if len(landed) != 2 {
+		t.Fatalf("16 sessions landed on %d replicas, want both", len(landed))
+	}
+
+	// Phase 2: a long-lived session pinned to pair-b, killed mid-flight.
+	var victim uint64
+	for id := uint64(100); ; id++ {
+		if rep, _ := reg.Pick(id); rep.Name == "pair-b" {
+			victim = id
+			break
+		}
+	}
+	c0, c1 := dialFaces(t, face)
+	defer c0.Close()
+	defer c1.Close()
+	if err := routedRequest(t, p, c0, c1, victim); err != nil {
+		t.Fatalf("victim session before kill: %v", err)
+	}
+	rerBefore := routerReroutes.Value()
+	killB()
+	// Same connections, same routing key: the relay re-dials pair-b,
+	// fails, evicts it, and re-routes the session to pair-a.
+	if err := routedRequest(t, p, c0, c1, victim); err != nil {
+		t.Fatalf("victim session after kill did not fail over: %v", err)
+	}
+	if reg.Size() != 1 {
+		t.Fatalf("registry size %d after the dead replica was observed, want 1", reg.Size())
+	}
+	if routerReroutes.Value() == rerBefore {
+		t.Fatal("failover did not count a re-route")
+	}
+	// Fresh sessions keep working against the survivor, whatever the key.
+	for id := uint64(200); id < 208; id++ {
+		n0, n1 := dialFaces(t, face)
+		if err := routedRequest(t, p, n0, n1, id); err != nil {
+			t.Fatalf("post-kill session %d: %v", id, err)
+		}
+		n0.Close()
+		n1.Close()
+	}
+}
+
+// TestRouterNoReplicas checks the empty-fleet error path: the relay
+// fails the session with a counted no-replica error instead of
+// spinning.
+func TestRouterNoReplicas(t *testing.T) {
+	face := startRouter(t, NewRegistry(0))
+	c0, c1 := dialFaces(t, face)
+	defer c0.Close()
+	defer c1.Close()
+	p := rng.NewPool(2)
+	before := routerNoReplicas.Value()
+	if err := routedRequest(t, p, c0, c1, 7); err == nil {
+		t.Fatal("request against an empty fleet succeeded")
+	}
+	if routerNoReplicas.Value() == before {
+		t.Fatal("empty-fleet failure not counted")
+	}
+}

@@ -159,6 +159,9 @@ func init() {
 	obs.Default.FuncCounter("psml_mux_overflows_total", "Mux sessions killed by inbox overflow.", func() float64 {
 		return float64(comm.MuxTotals().Overflows)
 	})
+	obs.Default.FuncCounter("psml_mux_tombstone_wraps_total", "Stale-id tombstones evicted by ring wraparound; a late frame for a wrapped-out id is no longer recognized as stale.", func() float64 {
+		return float64(comm.MuxTotals().TombstoneWraps)
+	})
 	// Mux frame accounting: what batching amortizes. Fewer frames out per
 	// served request is the direct signature of coalesced exchanges.
 	obs.Default.FuncCounter("psml_mux_frames_in_total", "Mux frames routed off peer links (data + control).", func() float64 {

@@ -36,12 +36,18 @@ import (
 // sharesSize is the exact wire size of a shares payload, so encode
 // buffers never append-grow through multi-MB reallocations.
 func sharesSize(in Shares) int {
-	return tensor.EncodedSize(in.A) + tensor.EncodedSize(in.B) +
-		tensor.EncodedSize(in.T.U) + tensor.EncodedSize(in.T.V) + tensor.EncodedSize(in.T.Z)
+	n := tensor.EncodedSize(in.A) + tensor.EncodedSize(in.B)
+	if in.T.U != nil {
+		n += tensor.EncodedSize(in.T.U) + tensor.EncodedSize(in.T.V) + tensor.EncodedSize(in.T.Z)
+	}
+	return n
 }
 
 // EncodeShares serializes one party's multiplication inputs as a single
-// payload: A, B, U, V, Z in order.
+// payload: A, B, U, V, Z in order. A nil-triplet Shares (in.T.U == nil)
+// encodes as the short A, B form — the dealer-fed request shape, where
+// the servers draw the triplet from their TripletFeed instead of the
+// client shipping it.
 func EncodeShares(in Shares) []byte {
 	return appendShares(make([]byte, 0, sharesSize(in)), in)
 }
@@ -49,29 +55,37 @@ func EncodeShares(in Shares) []byte {
 func appendShares(frame []byte, in Shares) []byte {
 	frame = tensor.EncodeMatrix(frame, in.A)
 	frame = tensor.EncodeMatrix(frame, in.B)
+	if in.T.U == nil {
+		return frame
+	}
 	frame = tensor.EncodeMatrix(frame, in.T.U)
 	frame = tensor.EncodeMatrix(frame, in.T.V)
 	return tensor.EncodeMatrix(frame, in.T.Z)
 }
 
-// DecodeShares parses a payload produced by EncodeShares.
+// DecodeShares parses a payload produced by EncodeShares: either the
+// full five-matrix form (A, B, U, V, Z) or the two-matrix dealer-fed
+// form (A, B with out.T zero) — the payload length after B decides.
 func DecodeShares(frame []byte) (Shares, error) {
 	var out Shares
-	mats := make([]*tensor.Matrix, 5)
-	off := 0
-	for i := range mats {
+	var mats [5]*tensor.Matrix
+	off, count := 0, 0
+	for count < len(mats) && off < len(frame) {
 		m, n, err := tensor.DecodeMatrix(frame[off:])
 		if err != nil {
-			return out, fmt.Errorf("mpc: shares frame matrix %d: %w", i, err)
+			return out, fmt.Errorf("mpc: shares frame matrix %d: %w", count, err)
 		}
-		mats[i] = m
+		mats[count] = m
+		count++
 		off += n
 	}
-	if off != len(frame) {
-		return out, fmt.Errorf("mpc: shares frame has %d trailing bytes", len(frame)-off)
+	if off != len(frame) || (count != 2 && count != 5) {
+		return out, fmt.Errorf("mpc: shares frame holds %d matrices with %d trailing bytes, want 2 (dealer-fed) or 5", count, len(frame)-off)
 	}
 	out.A, out.B = mats[0], mats[1]
-	out.T = TripletShares{U: mats[2], V: mats[3], Z: mats[4]}
+	if count == 5 {
+		out.T = TripletShares{U: mats[2], V: mats[3], Z: mats[4]}
+	}
 	if err := validateShares(out); err != nil {
 		return Shares{}, err
 	}
@@ -86,9 +100,13 @@ func DecodeShares(frame []byte) (Shares, error) {
 func validateShares(in Shares) error {
 	m, k := in.A.Rows, in.A.Cols
 	n := in.B.Cols
-	switch {
-	case in.B.Rows != k:
+	if in.B.Rows != k {
 		return fmt.Errorf("mpc: shares geometry: A is %dx%d but B is %dx%d", m, k, in.B.Rows, n)
+	}
+	if in.T.U == nil {
+		return nil // dealer-fed form: the triplet geometry is the feed's to honor
+	}
+	switch {
 	case in.T.U.Rows != m || in.T.U.Cols != k:
 		return fmt.Errorf("mpc: shares geometry: U is %dx%d, want %dx%d", in.T.U.Rows, in.T.U.Cols, m, k)
 	case in.T.V.Rows != k || in.T.V.Cols != n:
@@ -355,7 +373,15 @@ func (e *ServerError) Unwrap() error { return e.Err }
 // just before the server replied) is recognized as stale on the next
 // call and discarded instead of silently desyncing the connection.
 func RequestMul(s0, s1 comm.Framer, in0, in1 Shares) (*tensor.Matrix, error) {
-	id := newRequestID()
+	return RequestMulID(newRequestID(), s0, s1, in0, in1)
+}
+
+// RequestMulID is RequestMul under a caller-chosen request id. The id
+// must be unique across every in-flight request of the server pair (it
+// keys the peer-link mux sub-stream); callers that route through a
+// session router also rely on it as the routing key, so both legs of
+// one call must carry the same id — which this guarantees.
+func RequestMulID(id uint64, s0, s1 comm.Framer, in0, in1 Shares) (*tensor.Matrix, error) {
 	results := make(chan *ServerError, 2)
 	shares := [2]*tensor.Matrix{}
 	leg := func(server int, c comm.Framer, in Shares) *ServerError {
@@ -435,6 +461,16 @@ type ServeConfig struct {
 	// loudly instead of stacking invisible latency. <= 0 selects
 	// DefaultMaxSessions.
 	MaxSessions int
+	// Feed, when non-nil, serves dealer-fed requests (the two-matrix A, B
+	// form): the triplet comes from this party's feed instead of the
+	// client. Party 0 draws the next ready triplet for the request's shape
+	// and tells party 1 its stream sequence number over the request's mux
+	// session (the first frame, ahead of the Beaver exchange), so both
+	// parties always hold complementary halves of the same triplet no
+	// matter how concurrent sessions interleave. Full five-matrix requests
+	// are still honored — a pair can serve classic and dealer-fed clients
+	// at once. Both parties must configure a Feed together.
+	Feed TripletFeed
 }
 
 // DefaultMaxSessions is the concurrent-session bound when
@@ -483,11 +519,21 @@ func ServeClients(ctx context.Context, party int, ln net.Listener, peer comm.Fra
 			d.SetTimeouts(0, cfg.PeerTimeout)
 		}
 	}
-	mux := comm.NewMux(peer, comm.MuxConfig{ReadTimeout: cfg.PeerTimeout})
 	maxSessions := cfg.MaxSessions
 	if maxSessions <= 0 {
 		maxSessions = DefaultMaxSessions
 	}
+	// Size the stale-id tombstone ring to the session churn this loop can
+	// generate: with many concurrent sessions each retiring a mux id per
+	// request, the default ring can wrap within one slow request's
+	// lifetime, and a frame for a wrapped-out id would be taken for a new
+	// session's. 64 retired ids of headroom per concurrent session keeps
+	// recognition comfortably ahead of churn.
+	tombstones := maxSessions * 64
+	if tombstones < comm.DefaultTombstoneIDs {
+		tombstones = comm.DefaultTombstoneIDs
+	}
+	mux := comm.NewMux(peer, comm.MuxConfig{ReadTimeout: cfg.PeerTimeout, TombstoneIDs: tombstones})
 	// Concurrent wire sessions share one result-matrix pool (a private
 	// pool per session would defeat recycling across requests).
 	if cfg.Wire != nil && cfg.Wire.Pool == nil {
@@ -498,6 +544,15 @@ func ServeClients(ctx context.Context, party int, ln net.Listener, peer comm.Fra
 	var codec *WireCodec
 	if cfg.Wire != nil {
 		codec = cfg.Wire.Codec
+	}
+	// A reconnected supervised link is a different network path: the
+	// bandwidth EWMA measured on the dead incarnation must not keep the
+	// codec selector pinned to a throttle (or a fast path) that no longer
+	// exists. Reset it; fresh exchanges re-measure within a few requests.
+	if codec != nil {
+		if sl, ok := peer.(*comm.SupervisedLink); ok {
+			sl.OnReconnect(codec.ResetLink)
+		}
 	}
 	// Codec capability handshake: advertise once on the reserved control
 	// session and upgrade when the peer's advertisement arrives. Until
@@ -671,7 +726,10 @@ func serveMuxLoop(party int, client *comm.Conn, mux *comm.Mux, bt batcher, cfg S
 		var ci *tensor.Matrix
 		var release func()
 		handled := false
-		if bt != nil {
+		// Dealer-fed requests (nil triplet) skip the batcher: the stacked
+		// exchange ships member triplets inside the proposal, which the
+		// short request form deliberately does not carry.
+		if bt != nil && in.T.U != nil {
 			var berr error
 			ci, release, handled, berr = bt.do(id, in)
 			if handled {
@@ -689,6 +747,23 @@ func serveMuxLoop(party int, client *comm.Conn, mux *comm.Mux, bt batcher, cfg S
 				metrics.requestErrors.Inc()
 				h.ObserveSince(start)
 				return fmt.Errorf("mpc: request %016x: %w", id, err)
+			}
+			if in.T.U == nil {
+				if cfg.Feed == nil {
+					sess.Abort()
+					metrics.requestErrors.Inc()
+					h.ObserveSince(start)
+					return fmt.Errorf("mpc: request %016x: dealer-fed request on a party with no triplet feed", id)
+				}
+				tspan := metrics.phaseTriplet.Start()
+				in.T, err = feedTriplet(party, cfg.Feed, sess, in.A.Rows, in.A.Cols, in.B.Cols)
+				tspan.Stop()
+				if err != nil {
+					sess.Abort()
+					metrics.requestErrors.Inc()
+					h.ObserveSince(start)
+					return fmt.Errorf("mpc: request %016x: %w", id, err)
+				}
 			}
 			if w != nil {
 				ci, err = w.mul(sess, in.A, in.B, in.T, nil, nil)

@@ -1,0 +1,220 @@
+package tripletpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"parsecureml/internal/comm"
+	"parsecureml/internal/mpc"
+	"parsecureml/internal/obs"
+)
+
+// DealerClient is a computation party's end of the dealer feed: an
+// mpc.TripletFeed backed by one connection to cmd/psml-dealer. It
+// receives only THIS party's triplet halves — the share-separation
+// invariant holds on the wire, not just in process memory. Credits
+// (WANT frames) are issued lazily per shape, keeping Depth triplets of
+// headroom beyond what has been consumed, so the dealer's generation
+// follows observed demand instead of guessing shapes up front.
+//
+// A dead dealer connection fails the feed permanently: every blocked
+// and future Next/Take returns the link error, which the serving loop
+// surfaces as request failures. In a fleet deployment that is a replica
+// failure — the router re-routes the replica's sessions — not a
+// recovery problem this client solves.
+type DealerClient struct {
+	party int
+	depth int
+	mux   *comm.Mux
+	ctl   *comm.MuxSession
+	conn  *comm.Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	shapes map[shape]*feedShape
+	err    error
+}
+
+// feedShape is one shape's slice of the feed: delivered-but-unconsumed
+// triplets keyed by stream seq, plus the consume and credit cursors.
+type feedShape struct {
+	buf       map[uint64]mpc.TripletShares
+	low       uint64 // lowest seq not yet consumed via Next
+	requested uint64 // total credits sent for this shape
+}
+
+// FeedConfig tunes a DealerClient. The zero value selects the defaults.
+type FeedConfig struct {
+	// Depth is the per-shape credit headroom kept beyond consumption —
+	// the feed-side analogue of Config.Depth. Default 8.
+	Depth int
+}
+
+// Feed accounting, exposed as psml_triplet_feed_* metrics.
+var (
+	feedReceived atomic.Int64
+	feedBuffered atomic.Int64
+	feedWaits    = obs.Default.Histogram("psml_triplet_feed_wait_seconds", "Time requests block waiting for a dealer-fed triplet to arrive.")
+)
+
+func init() {
+	obs.Default.FuncCounter("psml_triplet_feed_received_total", "Triplet share halves received from the dealer.", func() float64 {
+		return float64(feedReceived.Load())
+	})
+	obs.Default.FuncGauge("psml_triplet_feed_buffered", "Dealer-fed triplet halves delivered but not yet consumed.", func() float64 {
+		return float64(feedBuffered.Load())
+	})
+}
+
+// NewDealerClient registers party under pairID with the dealer over
+// conn (freshly dialed, e.g. comm.DialRetry) and starts the feed. The
+// connection is owned by the client from here on.
+func NewDealerClient(conn *comm.Conn, party int, pairID uint64, cfg FeedConfig) (*DealerClient, error) {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 8
+	}
+	if err := conn.WriteFrame(encodeDealerHello(party, pairID)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tripletpool: dealer hello: %w", err)
+	}
+	mux := comm.NewMux(conn, comm.MuxConfig{})
+	ctl, err := mux.Open(dealerCtlID)
+	if err != nil {
+		mux.Close()
+		return nil, err
+	}
+	feed, err := mux.Open(dealerFeedID)
+	if err != nil {
+		mux.Close()
+		return nil, err
+	}
+	c := &DealerClient{
+		party:  party,
+		depth:  cfg.Depth,
+		mux:    mux,
+		ctl:    ctl,
+		conn:   conn,
+		shapes: make(map[shape]*feedShape),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.readLoop(feed)
+	return c, nil
+}
+
+// Close tears the feed down; blocked Next/Take calls fail.
+func (c *DealerClient) Close() {
+	c.mux.Close()
+	c.conn.Close()
+	c.failLocked(fmt.Errorf("tripletpool: dealer feed closed"))
+}
+
+func (c *DealerClient) failLocked(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// readLoop dispatches FEED frames into per-shape buffers.
+func (c *DealerClient) readLoop(feed *comm.MuxSession) {
+	for {
+		f, err := feed.ReadFrame()
+		if err != nil {
+			c.failLocked(fmt.Errorf("tripletpool: dealer feed: %w", err))
+			return
+		}
+		s, seq, t, err := decodeFeedFrame(f)
+		if err != nil {
+			c.failLocked(err)
+			return
+		}
+		feedReceived.Add(1)
+		feedBuffered.Add(1)
+		c.mu.Lock()
+		c.shape(s).buf[seq] = t
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// shape returns s's state, creating it. Caller holds c.mu.
+func (c *DealerClient) shape(s shape) *feedShape {
+	fs, ok := c.shapes[s]
+	if !ok {
+		fs = &feedShape{buf: make(map[uint64]mpc.TripletShares)}
+		c.shapes[s] = fs
+	}
+	return fs
+}
+
+// ensureCredit tops the shape's outstanding credits up to cover seq
+// `need` plus the configured headroom. Caller holds c.mu; the WANT
+// write happens without dropping it (mux writes only enqueue).
+func (c *DealerClient) ensureCredit(s shape, fs *feedShape, need uint64) error {
+	target := need + 1 + uint64(c.depth)
+	if fs.requested >= target {
+		return nil
+	}
+	grant := target - fs.requested
+	if err := c.ctl.WriteFrame(encodeWant(s, int(grant))); err != nil {
+		return fmt.Errorf("tripletpool: dealer WANT: %w", err)
+	}
+	fs.requested = target
+	return nil
+}
+
+// Next implements mpc.TripletFeed: pop this party's share of the next
+// unconsumed triplet in s's stream, waiting for the dealer if none has
+// arrived yet.
+func (c *DealerClient) Next(m, k, n int) (uint64, mpc.TripletShares, error) {
+	s := shape{M: m, K: k, N: n}
+	span := feedWaits.Start()
+	defer span.Stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs := c.shape(s)
+	seq := fs.low
+	fs.low++
+	return seq, c.waitLocked(s, fs, seq), c.err
+}
+
+// Take implements mpc.TripletFeed: the share of triplet seq of s's
+// stream, waiting for delivery.
+func (c *DealerClient) Take(m, k, n int, seq uint64) (mpc.TripletShares, error) {
+	s := shape{M: m, K: k, N: n}
+	span := feedWaits.Start()
+	defer span.Stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs := c.shape(s)
+	if seq >= fs.low {
+		fs.low = seq + 1
+	}
+	return c.waitLocked(s, fs, seq), c.err
+}
+
+// waitLocked blocks until triplet seq of shape s arrives (issuing
+// credits to cover it) and pops it. On feed failure it returns the zero
+// value and leaves the error in c.err for the caller to surface.
+func (c *DealerClient) waitLocked(s shape, fs *feedShape, seq uint64) mpc.TripletShares {
+	for {
+		if c.err != nil {
+			return mpc.TripletShares{}
+		}
+		if err := c.ensureCredit(s, fs, seq); err != nil {
+			if c.err == nil {
+				c.err = err
+			}
+			return mpc.TripletShares{}
+		}
+		if t, ok := fs.buf[seq]; ok {
+			delete(fs.buf, seq)
+			feedBuffered.Add(-1)
+			return t
+		}
+		c.cond.Wait()
+	}
+}

@@ -34,7 +34,88 @@ type Config struct {
 	// Default 2.
 	Workers int
 	// Seed seeds the pool's random source. The zero seed is valid.
+	// Ignored when Source is set.
 	Seed uint64
+	// Source supplies the triplets. Nil selects local generation from
+	// Seed (NewLocalSource) — the classic client-as-dealer role. A
+	// dealer-backed deployment plugs a different Source here; the pool's
+	// shape tracking, depth and LRU behavior are identical either way.
+	Source Source
+}
+
+// Source produces both parties' shares of one ready Beaver triplet for
+// a GEMM geometry. Implementations must be safe for concurrent use —
+// the pool's background workers call Gen from several goroutines.
+// NewLocalSource is the in-process default; NewStreamSource is the
+// deterministic per-shape variant the dealer tier uses.
+type Source interface {
+	Gen(m, k, n int) (p0, p1 mpc.TripletShares)
+}
+
+// localSource generates triplets from one shared thread-safe rng.Pool.
+type localSource struct{ rng *rng.Pool }
+
+// NewLocalSource returns the default Source: wall-clock triplet
+// generation on seed's MT19937 block streams (paper §5.1).
+func NewLocalSource(seed uint64) Source {
+	return localSource{rng: rng.NewPool(seed)}
+}
+
+func (s localSource) Gen(m, k, n int) (p0, p1 mpc.TripletShares) {
+	return mpc.GenGemmTripletShares(s.rng, m, k, n)
+}
+
+// StreamSeed mixes a base seed with a GEMM geometry into the seed of
+// that shape's triplet stream (splitmix64 finalizer over the packed
+// dimensions). Every consumer that needs the dealer's exact triplet
+// sequence for a shape — the dealer itself, a reference client in a
+// bit-identity drill — derives it from the same base seed through this
+// function.
+func StreamSeed(base uint64, m, k, n int) uint64 {
+	z := base ^ (uint64(m)<<42 + uint64(k)<<21 + uint64(n)) ^ 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// streamSource is a per-shape deterministic Source: the j-th Gen call
+// for shape (m,k,n) yields the same triplet regardless of what other
+// shapes were drawn in between, because every shape has its own
+// StreamSeed-derived rng.Pool. This is what makes a dealer-fed fleet
+// reproducible against a client-dealt reference run.
+type streamSource struct {
+	base  uint64
+	mu    sync.Mutex
+	pools map[shape]*rng.Pool
+}
+
+// NewStreamSource returns a Source whose triplet sequence per shape is
+// a pure function of (base, shape): stream j of shape s is identical
+// across processes and runs. Use distinct bases for distinct server
+// pairs in deployments where triplet reuse across pairs matters.
+func NewStreamSource(base uint64) Source {
+	return &streamSource{base: base, pools: make(map[shape]*rng.Pool)}
+}
+
+func (s *streamSource) Gen(m, k, n int) (p0, p1 mpc.TripletShares) {
+	sh := shape{M: m, K: k, N: n}
+	s.mu.Lock()
+	p, ok := s.pools[sh]
+	if !ok {
+		p = rng.NewPool(StreamSeed(s.base, m, k, n))
+		s.pools[sh] = p
+	}
+	s.mu.Unlock()
+	// Serialize draws per shape: a stream's j-th triplet must not depend
+	// on concurrent draws of the same shape interleaving their fills.
+	// (Distinct shapes still generate concurrently — each has its own
+	// pool — and the per-shape lock only matters to the dealer tier,
+	// whose per-shape generation is sequential anyway.)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return mpc.GenGemmTripletShares(p, m, k, n)
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +200,7 @@ type bucket struct {
 type Pool struct {
 	cfg  Config
 	rng  *rng.Pool
+	src  Source
 	stop chan struct{}
 	wg   sync.WaitGroup
 
@@ -134,9 +216,14 @@ type Pool struct {
 // New starts a Pool and its background generator workers.
 func New(cfg Config) *Pool {
 	cfg = cfg.withDefaults()
+	src := cfg.Source
+	if src == nil {
+		src = NewLocalSource(cfg.Seed)
+	}
 	p := &Pool{
 		cfg:     cfg,
 		rng:     rng.NewPool(cfg.Seed),
+		src:     src,
 		stop:    make(chan struct{}),
 		refill:  make(chan *bucket, cfg.MaxShapes*cfg.Depth),
 		buckets: make(map[shape]*bucket),
@@ -209,9 +296,9 @@ func (p *Pool) worker() {
 	}
 }
 
-// gen produces one triplet pair for s.
+// gen produces one triplet pair for s from the configured Source.
 func (p *Pool) gen(s shape) pair {
-	p0, p1 := mpc.GenGemmTripletShares(p.rng, s.M, s.K, s.N)
+	p0, p1 := p.src.Gen(s.M, s.K, s.N)
 	genTotal.Add(1)
 	return pair{p0: p0, p1: p1}
 }
@@ -240,12 +327,14 @@ func (p *Pool) topUp(b *bucket) {
 // shape over the MaxShapes bound) on first sight. Returns nil when the
 // pool is closed.
 func (p *Pool) lookup(s shape) *bucket {
+	var evictedBuckets []*bucket
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return nil
 	}
 	if b, ok := p.buckets[s]; ok {
+		p.mu.Unlock()
 		return b
 	}
 	for len(p.buckets) >= p.cfg.MaxShapes {
@@ -257,12 +346,20 @@ func (p *Pool) lookup(s shape) *bucket {
 		}
 		delete(p.buckets, lru.shape)
 		lru.evicted.Store(true)
-		drain(lru)
+		evictedBuckets = append(evictedBuckets, lru)
 		evictedShapes.Add(1)
 	}
 	b := &bucket{shape: s, ready: make(chan pair, p.cfg.Depth)}
 	b.lastUse.Store(p.clock.Add(1))
 	p.buckets[s] = b
+	p.mu.Unlock()
+	// Drain evicted buckets after releasing p.mu: the drain walks up to
+	// Depth channel receives, and doing that under the lock stalled every
+	// concurrent GetGemm behind the eviction. The evicted flag is already
+	// set, so workers racing a late fill re-drain their own deposit.
+	for _, e := range evictedBuckets {
+		drain(e)
+	}
 	return b
 }
 

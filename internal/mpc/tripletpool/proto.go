@@ -1,0 +1,133 @@
+package tripletpool
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"parsecureml/internal/mpc"
+	"parsecureml/internal/tensor"
+)
+
+// Dealer wire protocol. Each server party holds one framed connection
+// to the dealer: a hello frame on the raw connection establishes who is
+// asking (party and pair), then a comm.Mux takes over with two
+// fixed sub-streams — the demand stream (server → dealer WANT frames,
+// shape-keyed credit grants) and the feed stream (dealer → server
+// triplet shares). Credits are the backpressure: the dealer only ships
+// what was asked for, and it only generates ahead of the slower party
+// by its configured in-flight bound, so a stalled or dead party caps
+// the memory both sides spend on its pair.
+//
+// Share separation is structural: a FEED frame carries exactly one
+// party's (Uᵢ, Vᵢ, Zᵢ) and travels on that party's connection. The two
+// halves of one triplet never appear on the same wire.
+
+const (
+	// dealerMagic tags dealer-protocol hello frames: "PSTD".
+	dealerMagic = 0x50535444
+	// dealerProtoVersion is bumped on incompatible frame changes; the
+	// dealer rejects mismatches at hello time rather than mid-stream.
+	dealerProtoVersion = 1
+	// Mux sub-stream ids, fixed by the protocol.
+	dealerCtlID  = 1 // server → dealer: WANT frames
+	dealerFeedID = 2 // dealer → server: FEED frames
+)
+
+// helloBytes is the dealer hello frame: magic, version, party, pair id.
+const helloBytes = 4 + 4 + 4 + 8
+
+func encodeDealerHello(party int, pairID uint64) []byte {
+	buf := make([]byte, helloBytes)
+	binary.LittleEndian.PutUint32(buf[0:4], dealerMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], dealerProtoVersion)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(party))
+	binary.LittleEndian.PutUint64(buf[12:20], pairID)
+	return buf
+}
+
+func decodeDealerHello(f []byte) (party int, pairID uint64, err error) {
+	if len(f) != helloBytes || binary.LittleEndian.Uint32(f[0:4]) != dealerMagic {
+		return 0, 0, fmt.Errorf("tripletpool: bad dealer hello frame (%d bytes)", len(f))
+	}
+	if v := binary.LittleEndian.Uint32(f[4:8]); v != dealerProtoVersion {
+		return 0, 0, fmt.Errorf("tripletpool: dealer protocol version %d, want %d", v, dealerProtoVersion)
+	}
+	party = int(binary.LittleEndian.Uint32(f[8:12]))
+	if party != 0 && party != 1 {
+		return 0, 0, fmt.Errorf("tripletpool: dealer hello claims party %d", party)
+	}
+	return party, binary.LittleEndian.Uint64(f[12:20]), nil
+}
+
+// wantBytes is a WANT frame: shape dimensions plus a credit count.
+const wantBytes = 4*3 + 4
+
+func encodeWant(s shape, count int) []byte {
+	buf := make([]byte, wantBytes)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(s.M))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(s.K))
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(s.N))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(count))
+	return buf
+}
+
+func decodeWant(f []byte) (shape, int, error) {
+	if len(f) != wantBytes {
+		return shape{}, 0, fmt.Errorf("tripletpool: WANT frame is %d bytes, want %d", len(f), wantBytes)
+	}
+	s := shape{
+		M: int(binary.LittleEndian.Uint32(f[0:4])),
+		K: int(binary.LittleEndian.Uint32(f[4:8])),
+		N: int(binary.LittleEndian.Uint32(f[8:12])),
+	}
+	count := int(binary.LittleEndian.Uint32(f[12:16]))
+	if s.M <= 0 || s.K <= 0 || s.N <= 0 || count <= 0 {
+		return shape{}, 0, fmt.Errorf("tripletpool: WANT frame with degenerate shape %dx%dx%d count %d", s.M, s.K, s.N, count)
+	}
+	return s, count, nil
+}
+
+// feedHeaderBytes prefixes a FEED frame: shape dimensions plus the
+// triplet's stream sequence number, ahead of the encoded U, V, Z.
+const feedHeaderBytes = 4*3 + 8
+
+func appendFeedFrame(buf []byte, s shape, seq uint64, t mpc.TripletShares) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.M))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.K))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.N))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = tensor.EncodeMatrix(buf, t.U)
+	buf = tensor.EncodeMatrix(buf, t.V)
+	return tensor.EncodeMatrix(buf, t.Z)
+}
+
+func decodeFeedFrame(f []byte) (shape, uint64, mpc.TripletShares, error) {
+	var t mpc.TripletShares
+	if len(f) < feedHeaderBytes {
+		return shape{}, 0, t, fmt.Errorf("tripletpool: FEED frame of %d bytes has no header", len(f))
+	}
+	s := shape{
+		M: int(binary.LittleEndian.Uint32(f[0:4])),
+		K: int(binary.LittleEndian.Uint32(f[4:8])),
+		N: int(binary.LittleEndian.Uint32(f[8:12])),
+	}
+	seq := binary.LittleEndian.Uint64(f[12:20])
+	off := feedHeaderBytes
+	mats := [3]*tensor.Matrix{}
+	for i := range mats {
+		m, n, err := tensor.DecodeMatrix(f[off:])
+		if err != nil {
+			return shape{}, 0, t, fmt.Errorf("tripletpool: FEED frame matrix %d: %w", i, err)
+		}
+		mats[i] = m
+		off += n
+	}
+	if off != len(f) {
+		return shape{}, 0, t, fmt.Errorf("tripletpool: FEED frame has %d trailing bytes", len(f)-off)
+	}
+	t = mpc.TripletShares{U: mats[0], V: mats[1], Z: mats[2]}
+	if t.U.Rows != s.M || t.U.Cols != s.K || t.V.Rows != s.K || t.V.Cols != s.N || t.Z.Rows != s.M || t.Z.Cols != s.N {
+		return shape{}, 0, mpc.TripletShares{}, fmt.Errorf("tripletpool: FEED frame geometry does not match its %dx%dx%d header", s.M, s.K, s.N)
+	}
+	return s, seq, t, nil
+}

@@ -180,6 +180,19 @@ func (wc *WireCodec) ObserveLink(bytes int, dur time.Duration) {
 	}
 }
 
+// ResetLink discards the measured bandwidth EWMA, returning budgetBps
+// to the static model until new samples arrive. Call it when the
+// underlying transport path may have changed — a SupervisedLink
+// reconnect lands on a new TCP connection (possibly a new route), and
+// a throttled estimate from the dead incarnation must not keep pinning
+// the codec and batch planners against a link that no longer exists.
+func (wc *WireCodec) ResetLink() {
+	if wc == nil {
+		return
+	}
+	wc.linkBps.Store(0)
+}
+
 // budgetBps is the byte budget the crossover charges transfers against:
 // the static model (Link override, else HW.Net), capped by the measured
 // EWMA when one exists.

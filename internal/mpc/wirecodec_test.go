@@ -424,3 +424,36 @@ func TestServeCodecMixedVersion(t *testing.T) {
 		t.Fatalf("new server upgraded to %b against a codec-less peer", got)
 	}
 }
+
+// TestResetLinkRestoresStaticBudget is the regression for the stale
+// bandwidth EWMA: a throttled measurement from a dead link incarnation
+// must not survive a reconnect. ResetLink discards the estimate and the
+// byte budget returns to the static hardware model until fresh samples
+// arrive (ServeClients wires it to SupervisedLink.OnReconnect).
+func TestResetLinkRestoresStaticBudget(t *testing.T) {
+	wc := &WireCodec{Enabled: CodecFP16, HW: hw.Paper()}
+	static := wc.budgetBps()
+	if static <= 0 {
+		t.Fatal("static budget must be positive for this test")
+	}
+	// One painfully slow observed transfer: 1 KiB over a full second.
+	wc.ObserveLink(1024, time.Second)
+	throttled := wc.budgetBps()
+	if throttled >= static {
+		t.Fatalf("measured budget %v not below static %v; EWMA never engaged", throttled, static)
+	}
+	wc.ResetLink()
+	if got := wc.budgetBps(); got != static {
+		t.Fatalf("budget after ResetLink = %v, want static %v", got, static)
+	}
+	// A fresh sample after the reset seeds the EWMA from scratch, not
+	// from the discarded history.
+	wc.ObserveLink(2048, time.Second)
+	want := 2048.0
+	if got := wc.budgetBps(); got != want {
+		t.Fatalf("first post-reset sample yields budget %v, want %v", got, want)
+	}
+	// Nil receiver stays safe (codec-less configs call through).
+	var none *WireCodec
+	none.ResetLink()
+}

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Multi-process fleet chaos drill: a router fronting two dealer-fed
+# server pairs, 64 concurrent client sessions, one pair killed mid-run.
+# Every session — re-routed or not — must produce results bit-identical
+# to an in-process reference pair (examples/fleet does the comparison).
+#
+# Usage: scripts/fleet_drill.sh [build-flags...]
+#   e.g. scripts/fleet_drill.sh -race
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_FLAGS=("$@")
+WORK="$(mktemp -d)"
+SEED=20240808
+
+echo "== building (${BUILD_FLAGS[*]:-no extra flags}) into $WORK"
+go build "${BUILD_FLAGS[@]}" -o "$WORK/psml-router" ./cmd/psml-router
+go build "${BUILD_FLAGS[@]}" -o "$WORK/psml-dealer" ./cmd/psml-dealer
+go build "${BUILD_FLAGS[@]}" -o "$WORK/psml-server" ./cmd/psml-server
+go build "${BUILD_FLAGS[@]}" -o "$WORK/fleet-drill" ./examples/fleet
+
+PIDS=()
+cleanup() {
+  # Negative status from already-dead processes is fine here.
+  kill "${PIDS[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+spawn() { # spawn NAME cmd args...
+  local name="$1"; shift
+  "$@" >"$WORK/$name.log" 2>&1 &
+  PIDS+=($!)
+  echo "   $name pid $! ($*)"
+}
+
+# Fixed loopback ports (picked high to dodge the common dev ranges).
+DEALER=127.0.0.1:29400
+FACE0=127.0.0.1:29300
+FACE1=127.0.0.1:29301
+HEALTH=127.0.0.1:29350
+A0=127.0.0.1:29101; A1=127.0.0.1:29102; APEER=127.0.0.1:29201
+B0=127.0.0.1:29111; B1=127.0.0.1:29112; BPEER=127.0.0.1:29211
+
+echo "== starting the fleet"
+spawn dealer "$WORK/psml-dealer" -listen "$DEALER" -seed "$SEED"
+spawn router "$WORK/psml-router" -listen0 "$FACE0" -listen1 "$FACE1" \
+  -health-listen "$HEALTH" -health-heartbeat 100ms -backend-timeout 20s
+
+# Pair A: party 0 registers the pair with the router.
+spawn pairA-0 "$WORK/psml-server" -party 0 -listen "$A0" -peer-listen "$APEER" \
+  -dealer-dial "$DEALER" -pair-id 1 \
+  -router-register "$HEALTH" -replica-name pair-a -advertise-party0 "$A0" -advertise-party1 "$A1" \
+  -peer-heartbeat 100ms -max-sessions 256 -triplet-feed-depth 2
+spawn pairA-1 "$WORK/psml-server" -party 1 -listen "$A1" -peer-dial "$APEER" \
+  -dealer-dial "$DEALER" -pair-id 1 -peer-heartbeat 100ms -max-sessions 256 -triplet-feed-depth 2
+
+# Pair B: the victim.
+spawn pairB-0 "$WORK/psml-server" -party 0 -listen "$B0" -peer-listen "$BPEER" \
+  -dealer-dial "$DEALER" -pair-id 2 \
+  -router-register "$HEALTH" -replica-name pair-b -advertise-party0 "$B0" -advertise-party1 "$B1" \
+  -peer-heartbeat 100ms -max-sessions 256 -triplet-feed-depth 2
+B_PID0=${PIDS[-1]}
+spawn pairB-1 "$WORK/psml-server" -party 1 -listen "$B1" -peer-dial "$BPEER" \
+  -dealer-dial "$DEALER" -pair-id 2 -peer-heartbeat 100ms -max-sessions 256 -triplet-feed-depth 2
+B_PID1=${PIDS[-1]}
+
+# Both replicas must be on the ring before sessions start: a session
+# that lands on an empty registry fails by design (the router does not
+# queue), so the drill waits for the two JOIN events.
+for _ in $(seq 1 300); do
+  if grep -q 'replica_joined replica=pair-a' "$WORK/router.log" &&
+     grep -q 'replica_joined replica=pair-b' "$WORK/router.log"; then
+    break
+  fi
+  sleep 0.1
+done
+grep -q 'replica_joined replica=pair-b' "$WORK/router.log" || {
+  echo "replicas never registered with the router" >&2
+  tail -n 20 "$WORK"/*.log >&2
+  exit 1
+}
+
+echo "== running the drill client (64 sessions, kill after round 3)"
+READY="$WORK/ready"; KILLED="$WORK/killed"
+"$WORK/fleet-drill" -face0 "$FACE0" -face1 "$FACE1" -dealer-seed "$SEED" \
+  -sessions 64 -rounds 6 -kill-round 3 -ready-file "$READY" -killed-file "$KILLED" &
+CLIENT=$!
+PIDS+=($CLIENT)
+
+for _ in $(seq 1 600); do [ -f "$READY" ] && break; sleep 0.1; done
+[ -f "$READY" ] || { echo "drill client never reached the kill barrier" >&2; exit 1; }
+
+echo "== killing pair-b (pids $B_PID0 $B_PID1)"
+kill -9 "$B_PID0" "$B_PID1"
+touch "$KILLED"
+
+if wait "$CLIENT"; then
+  echo "== fleet drill passed"
+else
+  status=$?
+  echo "== fleet drill FAILED (client exit $status); tail of logs:" >&2
+  for f in "$WORK"/*.log; do echo "--- $f" >&2; tail -n 20 "$f" >&2; done
+  exit "$status"
+fi
