@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	modelName := flag.String("model", "MLP", "CNN | MLP | RNN | linear | logistic")
+	modelName := flag.String("model", "MLP", "CNN | MLP | RNN | transformer | linear | logistic")
 	batch := flag.Int("batch", 64, "batch size")
 	batches := flag.Int("batches", 4, "number of batches to infer")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -57,6 +57,8 @@ func main() {
 		plain = parsecureml.NewMLP(spec.InDim(), r)
 	case "RNN":
 		plain = parsecureml.NewRNNModel(28, 32, 28, r)
+	case "transformer":
+		plain = parsecureml.NewTransformer(spec.InDim(), 32, 4, 48, r)
 	case "linear":
 		plain = parsecureml.NewLinearRegression(spec.InDim(), r)
 	case "logistic":

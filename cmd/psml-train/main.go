@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	modelName := flag.String("model", "MLP", "CNN | MLP | RNN | linear | logistic | SVM")
+	modelName := flag.String("model", "MLP", "CNN | MLP | RNN | transformer | linear | logistic | SVM")
 	dsName := flag.String("dataset", "MNIST", "MNIST | VGGFace2 | NIST | CIFAR-10 | SYNTHETIC")
 	samples := flag.Int("samples", 256, "synthetic samples to train on")
 	batch := flag.Int("batch", 64, "batch size")
@@ -79,6 +79,8 @@ func main() {
 			spec.SeqSteps = spec.H
 		}
 		plain = parsecureml.NewRNNModel(spec.W, 32, spec.SeqSteps, r)
+	case "transformer":
+		plain = parsecureml.NewTransformer(spec.InDim(), 32, 4, 48, r)
 	case "linear":
 		plain = parsecureml.NewLinearRegression(spec.InDim(), r)
 	case "logistic":

@@ -46,6 +46,18 @@ func NewRNNModel(inStep, hidden, steps int, r *rng.Rand) *Model {
 	)
 }
 
+// NewTransformer is the secure-transformer benchmark: a dense embedding
+// into the model width, one TransformerBlock (causal multi-head
+// attention + feed-forward, scaled residuals), and a dense readout.
+// Batch rows are the token sequence.
+func NewTransformer(inDim, dModel, heads, ff int, r *rng.Rand) *Model {
+	return NewModel("transformer", MSE{},
+		NewDense(inDim, dModel, ReLU, r),
+		NewTransformerBlock(dModel, heads, ff, ReLU, true, r),
+		NewDense(dModel, 10, Piecewise, r),
+	)
+}
+
 // NewLinearRegression is a single linear layer trained with MSE.
 func NewLinearRegression(inDim int, r *rng.Rand) *Model {
 	return NewModel("linear", MSE{},

@@ -30,6 +30,8 @@ const (
 	tagLayerConv
 	tagLayerRNN
 	tagLayerAvgPool
+	tagLayerAttention
+	tagLayerTransformer
 )
 
 // Loss tags.
@@ -64,6 +66,24 @@ func (cw countingWriter) matrix(m *tensor.Matrix) error {
 	}
 	_, err := cw.w.Write(frame)
 	return err
+}
+
+func (cw countingWriter) attention(a *Attention) error {
+	causal := uint32(0)
+	if a.Causal {
+		causal = 1
+	}
+	for _, v := range []uint32{uint32(a.Heads), causal} {
+		if err := cw.u32(v); err != nil {
+			return err
+		}
+	}
+	for _, m := range []*tensor.Matrix{a.Wq, a.Wk, a.Wv, a.Wo, a.Bq, a.Bk, a.Bv, a.Bo} {
+		if err := cw.matrix(m); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Save writes the model to w.
@@ -155,6 +175,31 @@ func Save(w io.Writer, m *Model) error {
 					return err
 				}
 			}
+		case *Attention:
+			if err := cw.u32(tagLayerAttention); err != nil {
+				return err
+			}
+			if err := cw.attention(lt); err != nil {
+				return err
+			}
+		case *TransformerBlock:
+			if err := cw.u32(tagLayerTransformer); err != nil {
+				return err
+			}
+			if err := cw.attention(lt.Att); err != nil {
+				return err
+			}
+			for _, ff := range []*Dense{lt.FF1, lt.FF2} {
+				if err := cw.u32(uint32(ff.Act)); err != nil {
+					return err
+				}
+				if err := cw.matrix(ff.W); err != nil {
+					return err
+				}
+				if err := cw.matrix(ff.B); err != nil {
+					return err
+				}
+			}
 		default:
 			return fmt.Errorf("ml: cannot serialize layer type %T", l)
 		}
@@ -209,6 +254,44 @@ func (rd reader) matrix() (*tensor.Matrix, error) {
 		return nil, fmt.Errorf("ml: matrix frame trailing bytes")
 	}
 	return m, nil
+}
+
+func (rd reader) attention() (*Attention, error) {
+	heads, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	causal, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	var ws [8]*tensor.Matrix
+	for j := range ws {
+		if ws[j], err = rd.matrix(); err != nil {
+			return nil, err
+		}
+	}
+	a := &Attention{
+		Heads: int(heads), Causal: causal != 0,
+		Wq: ws[0], Wk: ws[1], Wv: ws[2], Wo: ws[3],
+		Bq: ws[4], Bk: ws[5], Bv: ws[6], Bo: ws[7],
+	}
+	d := a.Wq.Rows
+	if heads == 0 || d%int(heads) != 0 {
+		return nil, fmt.Errorf("ml: attention width %d for %d heads", d, heads)
+	}
+	for _, w := range ws[:4] {
+		if w.Rows != d || w.Cols != d {
+			return nil, fmt.Errorf("ml: attention weight %dx%d, want %dx%d", w.Rows, w.Cols, d, d)
+		}
+	}
+	for _, b := range ws[4:] {
+		if b.Rows != 1 || b.Cols != d {
+			return nil, fmt.Errorf("ml: attention bias %dx%d, want 1x%d", b.Rows, b.Cols, d)
+		}
+	}
+	a.InitGradients()
+	return a, nil
 }
 
 // Load reads a model written by Save.
@@ -336,6 +419,42 @@ func Load(r io.Reader) (*Model, error) {
 				}
 			}
 			layers = append(layers, NewAvgPool(int(vals[0]), int(vals[1]), int(vals[2]), int(vals[3])))
+		case tagLayerAttention:
+			a, err := rd.attention()
+			if err != nil {
+				return nil, err
+			}
+			layers = append(layers, a)
+		case tagLayerTransformer:
+			a, err := rd.attention()
+			if err != nil {
+				return nil, err
+			}
+			t := &TransformerBlock{Att: a}
+			for _, ff := range []**Dense{&t.FF1, &t.FF2} {
+				act, err := rd.u32()
+				if err != nil {
+					return nil, err
+				}
+				w, err := rd.matrix()
+				if err != nil {
+					return nil, err
+				}
+				b, err := rd.matrix()
+				if err != nil {
+					return nil, err
+				}
+				if b.Rows != 1 || b.Cols != w.Cols {
+					return nil, fmt.Errorf("ml: transformer FF bias %dx%d for %d outputs", b.Rows, b.Cols, w.Cols)
+				}
+				d := &Dense{W: w, B: b, Act: Activation(act)}
+				d.InitGradients()
+				*ff = d
+			}
+			if t.FF1.InDim() != a.OutDim() || t.FF2.OutDim() != a.OutDim() || t.FF2.InDim() != t.FF1.OutDim() {
+				return nil, fmt.Errorf("ml: transformer FF shapes inconsistent")
+			}
+			layers = append(layers, t)
 		default:
 			return nil, fmt.Errorf("ml: unknown layer tag %d", tag)
 		}

@@ -1,0 +1,185 @@
+package mpc
+
+import (
+	"fmt"
+	"math"
+
+	"parsecureml/internal/comm"
+	"parsecureml/internal/ml"
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+// Wire-path transformer inference: the client (who owns both the model
+// and the data, Fig. 1b) drives one multi-head attention block — plus an
+// optional feed-forward stack — through the two-server serving stack.
+// Every GEMM (Q/K/V projections, each head's QKᵀ score product and
+// score·V context product, the output projection, the FF layers) is one
+// RequestMul, so the traffic rides the session mux, the cross-session
+// batcher, and the adaptive wire codecs unchanged. The softmax runs
+// client-side on the recombined scores with ml.ApproxSoftmax — the same
+// approximation (and DESIGN.md error contract) as the secure training
+// path, but strictly less leaky than the server-side reveal: on the
+// wire path no server ever sees scores or probabilities, only shares
+// and masked E/F frames.
+type WireTransformer struct {
+	Heads  int
+	Causal bool
+
+	Wq, Wk, Wv, Wo *tensor.Matrix
+	Bq, Bk, Bv, Bo *tensor.Matrix
+
+	// Optional feed-forward stack with scaled residual (nil ⇒ attention
+	// only).
+	FF1W, FF1B, FF2W, FF2B *tensor.Matrix
+	FF1Act                 ActivationKind
+	FF1HasAct              bool
+	HasFF                  bool
+
+	pool *rng.Pool
+	muls int
+}
+
+// NewWireAttention wraps a plaintext attention block for wire-path
+// inference. seed drives every share split and triplet, so two runs with
+// the same seed issue bit-identical requests.
+func NewWireAttention(a *ml.Attention, seed uint64) *WireTransformer {
+	return &WireTransformer{
+		Heads: a.Heads, Causal: a.Causal,
+		Wq: a.Wq, Wk: a.Wk, Wv: a.Wv, Wo: a.Wo,
+		Bq: a.Bq, Bk: a.Bk, Bv: a.Bv, Bo: a.Bo,
+		pool: rng.NewPool(seed),
+	}
+}
+
+// NewWireTransformer wraps a full plaintext transformer block
+// (attention + feed-forward) for wire-path inference.
+func NewWireTransformer(b *ml.TransformerBlock, seed uint64) *WireTransformer {
+	t := NewWireAttention(b.Att, seed)
+	act, hasAct := wireActOf(b.FF1.Act)
+	t.FF1W, t.FF1B, t.FF2W, t.FF2B = b.FF1.W, b.FF1.B, b.FF2.W, b.FF2.B
+	t.FF1Act, t.FF1HasAct = act, hasAct
+	t.HasFF = true
+	return t
+}
+
+func wireActOf(a ml.Activation) (ActivationKind, bool) {
+	switch a {
+	case ml.ReLU:
+		return ActReLU, true
+	case ml.Sigmoid:
+		return ActSigmoid, true
+	case ml.SigmoidTaylor:
+		return ActSigmoidTaylor, true
+	default:
+		return ActPiecewise, a == ml.Piecewise
+	}
+}
+
+// Muls reports how many RequestMul round trips the last Infer issued.
+func (t *WireTransformer) Muls() int { return t.muls }
+
+// mul splits one product's inputs (serial pool draws keep runs
+// bit-stable) and executes it as a RequestMul over both servers.
+func (t *WireTransformer) mul(s0, s1 comm.Framer, a, b *tensor.Matrix) (*tensor.Matrix, error) {
+	a0, a1 := SplitRand(t.pool, a)
+	b0, b1 := SplitRand(t.pool, b)
+	tr0, tr1 := GenGemmTripletShares(t.pool, a.Rows, a.Cols, b.Cols)
+	t.muls++
+	return RequestMul(s0, s1, Shares{A: a0, B: b0, T: tr0}, Shares{A: a1, B: b1, T: tr1})
+}
+
+func (t *WireTransformer) proj(s0, s1 comm.Framer, x, w, b *tensor.Matrix) (*tensor.Matrix, error) {
+	out, err := t.mul(s0, s1, x, w)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < out.Rows; r++ {
+		row := out.Row(r)
+		for c := range row {
+			row[c] += b.Data[c]
+		}
+	}
+	return out, nil
+}
+
+func wireSliceCols(m *tensor.Matrix, lo, hi int) *tensor.Matrix {
+	out := tensor.New(m.Rows, hi-lo)
+	for r := 0; r < m.Rows; r++ {
+		copy(out.Row(r), m.Row(r)[lo:hi])
+	}
+	return out
+}
+
+// Infer runs the block over a T×d token sequence through the server
+// pair behind s0/s1 and returns the recombined output.
+func (t *WireTransformer) Infer(s0, s1 comm.Framer, x *tensor.Matrix) (*tensor.Matrix, error) {
+	d := t.Wq.Rows
+	if x.Cols != d {
+		return nil, fmt.Errorf("mpc: wire transformer input width %d, want %d", x.Cols, d)
+	}
+	if t.Heads <= 0 || d%t.Heads != 0 {
+		return nil, fmt.Errorf("mpc: wire transformer width %d for %d heads", d, t.Heads)
+	}
+	t.muls = 0
+	q, err := t.proj(s0, s1, x, t.Wq, t.Bq)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: Q projection: %w", err)
+	}
+	k, err := t.proj(s0, s1, x, t.Wk, t.Bk)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: K projection: %w", err)
+	}
+	v, err := t.proj(s0, s1, x, t.Wv, t.Bv)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: V projection: %w", err)
+	}
+	dh := d / t.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	ctx := tensor.New(x.Rows, d)
+	for h := 0; h < t.Heads; h++ {
+		lo := h * dh
+		qh := wireSliceCols(q, lo, lo+dh)
+		kh := wireSliceCols(k, lo, lo+dh)
+		vh := wireSliceCols(v, lo, lo+dh)
+		s, err := t.mul(s0, s1, qh, kh.Transpose())
+		if err != nil {
+			return nil, fmt.Errorf("mpc: head %d scores: %w", h, err)
+		}
+		tensor.Scale(s, s, scale)
+		p := tensor.New(s.Rows, s.Cols)
+		ml.ApproxSoftmax(p, s, t.Causal)
+		ch, err := t.mul(s0, s1, p, vh)
+		if err != nil {
+			return nil, fmt.Errorf("mpc: head %d context: %w", h, err)
+		}
+		for r := 0; r < ch.Rows; r++ {
+			copy(ctx.Row(r)[lo:lo+dh], ch.Row(r))
+		}
+	}
+	out, err := t.proj(s0, s1, ctx, t.Wo, t.Bo)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: output projection: %w", err)
+	}
+	y := tensor.New(x.Rows, d)
+	tensor.Add(y, x, out)
+	tensor.Scale(y, y, ml.ResidualScale)
+	if !t.HasFF {
+		return y, nil
+	}
+	h1, err := t.proj(s0, s1, y, t.FF1W, t.FF1B)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: FF1: %w", err)
+	}
+	if t.FF1HasAct {
+		tensor.Apply(h1, h1, t.FF1Act.Apply)
+	}
+	h2, err := t.proj(s0, s1, h1, t.FF2W, t.FF2B)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: FF2: %w", err)
+	}
+	outF := tensor.New(y.Rows, y.Cols)
+	tensor.Add(outF, y, h2)
+	tensor.Scale(outF, outF, ml.ResidualScale)
+	return outF, nil
+}

@@ -357,6 +357,18 @@ func TestEmitWireBenchBaseline(t *testing.T) {
 	codecWireB := codecCmpRes.Extra["wireB/op"]
 	byteRatio := codecWireB / rawWireB
 	nsRatio := float64(codecCmp.NsPerOp) / float64(rawCmp.NsPerOp)
+	// Transformer inference pair: one attention block (14 RequestMuls) per
+	// op over the same throttled peer link, raw vs negotiated codecs.
+	rawTrRes := testing.Benchmark(func(b *testing.B) { benchTransformerInfer(b, false) })
+	codecTrRes := testing.Benchmark(func(b *testing.B) { benchTransformerInfer(b, true) })
+	rawTr, codecTr := record(rawTrRes), record(codecTrRes)
+	trTokens, trDModel, trHeads := 16, 32, 4
+	rawTrTokS := float64(trTokens) / (float64(rawTr.NsPerOp) / 1e9)
+	codecTrTokS := float64(trTokens) / (float64(codecTr.NsPerOp) / 1e9)
+	rawTrBTok := rawTrRes.Extra["wireB/tok"]
+	codecTrBTok := codecTrRes.Extra["wireB/tok"]
+	trByteRatio := codecTrRes.Extra["wireB/op"] / rawTrRes.Extra["wireB/op"]
+	trNsRatio := float64(codecTr.NsPerOp) / float64(rawTr.NsPerOp)
 
 	baseline := map[string]any{
 		"description": "serving-path baseline: throttled-link remote mul (ns/op), steady-state inference request (allocs/op), concurrent-session scaling, and cross-session batched throughput",
@@ -391,6 +403,22 @@ func TestEmitWireBenchBaseline(t *testing.T) {
 			"per_session":         perSess,
 			"batched":             batched,
 			"throughput_gain":     batchGain,
+		},
+		"transformer_infer": map[string]any{
+			"tokens":                trTokens,
+			"d_model":               trDModel,
+			"heads":                 trHeads,
+			"request_muls":          14,
+			"chunk_rows":            8,
+			"throttle_bps":          int64(benchThrottleBps),
+			"raw":                   rawTr,
+			"codec":                 codecTr,
+			"raw_tokens_per_sec":    rawTrTokS,
+			"codec_tokens_per_sec":  codecTrTokS,
+			"raw_bytes_per_token":   rawTrBTok,
+			"codec_bytes_per_token": codecTrBTok,
+			"byte_ratio":            trByteRatio,
+			"ns_ratio":              trNsRatio,
 		},
 		"compressed_wire": map[string]any{
 			"dim":                 benchMulDim,
@@ -443,6 +471,20 @@ func TestEmitWireBenchBaseline(t *testing.T) {
 	if nsRatio > 1.05 {
 		t.Errorf("codec mul %d ns/op is %.2fx of raw %d ns/op, above the 1.05x regression bar",
 			codecCmp.NsPerOp, nsRatio, rawCmp.NsPerOp)
+	}
+	// The transformer block's claims: the codecs must clear the dense-E/F
+	// byte bar on the throttled link without material encode cost (see
+	// transformerNsRatioBar on why this bar is looser than the mul pair's).
+	if rawTrBTok <= 0 || codecTrBTok <= 0 {
+		t.Errorf("transformer pair recorded no peer bytes (raw %.0f/tok, codec %.0f/tok)", rawTrBTok, codecTrBTok)
+	}
+	if trByteRatio > transformerByteRatioBar {
+		t.Errorf("transformer codec bytes %.0f/tok are %.2fx of raw %.0f/tok, above the %.2fx bar",
+			codecTrBTok, trByteRatio, rawTrBTok, transformerByteRatioBar)
+	}
+	if trNsRatio > transformerNsRatioBar {
+		t.Errorf("transformer codec %d ns/op is %.2fx of raw %d ns/op, above the %.2fx bar",
+			codecTr.NsPerOp, trNsRatio, rawTr.NsPerOp, transformerNsRatioBar)
 	}
 	enc, err := json.MarshalIndent(baseline, "", "  ")
 	if err != nil {
@@ -626,5 +668,155 @@ func TestBatchedThroughputBaseline(t *testing.T) {
 	} else {
 		t.Logf("batched throughput gain: %.2fx (baseline %.2fx)",
 			gain, baseline.BatchedThroughput.ThroughputGain)
+	}
+}
+
+// benchTransformerInfer drives one full WireTransformer block (3
+// projections, per-head score and context products, output projection,
+// two FF layers — 14 RequestMuls) through a ServeLoopWire pair whose
+// peer link is bandwidth-throttled and byte-counted. One op = one
+// 16-token sequence, so ns/op converts to tokens/s and the counted
+// peer traffic to bytes/token. With codec=true the adaptive selector
+// runs with a static bandwidth budget, the regime where FP16 pays on
+// the dense revealed E/F frames.
+func benchTransformerInfer(b *testing.B, codec bool) {
+	blk, x := wireTransformerFixture(53)
+	client0a, client0b := comm.Pipe()
+	client1a, client1b := comm.Pipe()
+	peerA, peerB, p0, p1, closePeer := newCountingThrottledPipe(benchThrottleBps)
+	cfg := WireConfig{ChunkRows: 8}
+	if codec {
+		cfg.Codec = &WireCodec{
+			Enabled: CodecFP16 | CodecCSR,
+			HW:      hw.Paper(),
+			Link:    hw.LinkModel{Bandwidth: benchThrottleBps},
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ServeLoopWire(0, client0b, peerA, cfg)
+	}()
+	go func() {
+		defer wg.Done()
+		ServeLoopWire(1, client1b, peerB, cfg)
+	}()
+	wt := NewWireTransformer(blk, 60)
+	run := func() {
+		if _, err := wt.Infer(client0a, client1a, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm up pools and frame buffers before counting
+
+	start := p0.Stats().BytesWritten + p1.Stats().BytesWritten
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.StopTimer()
+	wire := p0.Stats().BytesWritten + p1.Stats().BytesWritten - start
+	b.ReportMetric(float64(wire)/float64(b.N), "wireB/op")
+	b.ReportMetric(float64(wire)/float64(b.N)/float64(x.Rows), "wireB/tok")
+	client0a.Close()
+	client1a.Close()
+	wg.Wait()
+	closePeer()
+}
+
+func BenchmarkTransformerInfer(b *testing.B) {
+	b.Run("raw", func(b *testing.B) { benchTransformerInfer(b, false) })
+	b.Run("codec", func(b *testing.B) { benchTransformerInfer(b, true) })
+}
+
+// transformerByteRatioBar is the enforced ceiling on codec-vs-raw peer
+// bytes for the transformer workload: the revealed E/F frames are dense,
+// so FP16 (not CSR) is the codec that pays — half the payload bytes plus
+// band headers. 0.75 leaves room for the uncompressible framing.
+const transformerByteRatioBar = 0.75
+
+// transformerNsRatioBar bounds the codec's wall-clock cost on the
+// transformer pair. Unlike the single 256-cubed mul, this workload is 14
+// sequential small round trips, so op time is pipe-latency-dominated and
+// halving the bytes moves only a sliver of it; the bar guards against
+// encode work becoming material, not for a bandwidth win.
+const transformerNsRatioBar = 1.15
+
+// TestTransformerInferBaseline re-runs the transformer inference pair
+// and fails if the codec no longer clears the byte-per-token bar on the
+// throttled link, or costs wall-clock against raw, or the secure result
+// drifts past the documented FP16 tolerance of the plaintext reference —
+// the regression guards behind BENCH_wire.json's transformer_infer
+// section, gated on BENCH_WIRE_BASELINE like the other baseline tests.
+func TestTransformerInferBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_WIRE_BASELINE")
+	if path == "" {
+		t.Skip("BENCH_WIRE_BASELINE not set")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline struct {
+		TransformerInfer struct {
+			ByteRatio float64 `json:"byte_ratio"`
+		} `json:"transformer_infer"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if r := baseline.TransformerInfer.ByteRatio; r <= 0 || r > transformerByteRatioBar {
+		t.Fatalf("baseline %s records transformer_infer byte_ratio %.3f, outside (0, %.2f]",
+			path, r, transformerByteRatioBar)
+	}
+	rawRes := testing.Benchmark(func(b *testing.B) { benchTransformerInfer(b, false) })
+	codecRes := testing.Benchmark(func(b *testing.B) { benchTransformerInfer(b, true) })
+	rawB, codecB := rawRes.Extra["wireB/op"], codecRes.Extra["wireB/op"]
+	if rawB <= 0 || codecB <= 0 {
+		t.Fatalf("transformer pair recorded no peer bytes (raw %.0f, codec %.0f)", rawB, codecB)
+	}
+	byteRatio := codecB / rawB
+	nsRatio := float64(codecRes.NsPerOp()) / float64(rawRes.NsPerOp())
+	if byteRatio > transformerByteRatioBar {
+		t.Errorf("transformer codec bytes regressed to %.2fx of raw (baseline %.3fx, bar %.2fx)",
+			byteRatio, baseline.TransformerInfer.ByteRatio, transformerByteRatioBar)
+	} else {
+		t.Logf("transformer wire: %.3fx bytes, %.3fx ns (baseline %.3fx bytes)",
+			byteRatio, nsRatio, baseline.TransformerInfer.ByteRatio)
+	}
+	if nsRatio > transformerNsRatioBar {
+		t.Errorf("transformer codec wall-clock regressed to %.2fx of raw (bar %.2fx; raw %d ns/op, codec %d ns/op)",
+			nsRatio, transformerNsRatioBar, rawRes.NsPerOp(), codecRes.NsPerOp())
+	}
+	// Accuracy under the codec: one full secure pass must stay within the
+	// documented FP16 tolerance of the plaintext block (DESIGN.md).
+	blk, x := wireTransformerFixture(53)
+	want := blk.Forward(x)
+	client0a, client0b := comm.Pipe()
+	client1a, client1b := comm.Pipe()
+	peerA, peerB := comm.Pipe()
+	cfg := WireConfig{ChunkRows: 8, Codec: &WireCodec{
+		Enabled: CodecFP16 | CodecCSR,
+		HW:      hw.Paper(),
+		Link:    hw.LinkModel{Bandwidth: benchThrottleBps},
+	}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); ServeLoopWire(0, client0b, peerA, cfg) }()
+	go func() { defer wg.Done(); ServeLoopWire(1, client1b, peerB, cfg) }()
+	got, err := NewWireTransformer(blk, 61).Infer(client0a, client1a, x)
+	client0a.Close()
+	client1a.Close()
+	wg.Wait()
+	peerA.Close()
+	peerB.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEqual(want, wireTransformerFP16Tol) {
+		t.Errorf("codec-path transformer off plaintext by %v (FP16 tolerance %v)",
+			got.MaxAbsDiff(want), wireTransformerFP16Tol)
 	}
 }

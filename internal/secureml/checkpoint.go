@@ -42,15 +42,17 @@ const (
 	// ckptMaxName and ckptMaxParams bound the decoder's allocations
 	// before it trusts anything in the buffer.
 	ckptMaxName   = 4096
-	ckptMaxParams = 8
+	ckptMaxParams = 16
 )
 
 // Layer kind tags in the checkpoint stream.
 const (
-	ckptDense = 1
-	ckptConv  = 2
-	ckptRNN   = 3
-	ckptPool  = 4
+	ckptDense       = 1
+	ckptConv        = 2
+	ckptRNN         = 3
+	ckptPool        = 4
+	ckptAttention   = 5
+	ckptTransformer = 6
 )
 
 // ErrCheckpoint wraps every checkpoint decode/validation failure.
@@ -104,9 +106,21 @@ func layerParams(l secureLayer) (byte, []*shared) {
 		return ckptRNN, []*shared{&sl.wx, &sl.wh, &sl.b}
 	case *securePool:
 		return ckptPool, nil
+	case *secureAttention:
+		return ckptAttention, attentionParams(sl)
+	case *secureTransformer:
+		params := attentionParams(sl.att)
+		params = append(params, &sl.ff1.w, &sl.ff1.b, &sl.ff2.w, &sl.ff2.b)
+		return ckptTransformer, params
 	default:
 		panic(fmt.Sprintf("secureml: checkpoint: unsupported layer type %T", l))
 	}
+}
+
+// attentionParams lists the attention share parameters in declaration
+// order (the order Restore applies them back).
+func attentionParams(sl *secureAttention) []*shared {
+	return []*shared{&sl.wq, &sl.wk, &sl.wv, &sl.wo, &sl.bq, &sl.bk, &sl.bv, &sl.bo}
 }
 
 // Checkpoint serializes the model's mutable training state. lr is
@@ -220,7 +234,7 @@ func decodeCheckpoint(data []byte) (*checkpointState, error) {
 		}
 		kind, nParams := data[off], int(data[off+1])
 		off += 2
-		if kind < ckptDense || kind > ckptPool {
+		if kind < ckptDense || kind > ckptTransformer {
 			return nil, fmt.Errorf("%w: layer %d has unknown kind %d", ErrCheckpoint, li, kind)
 		}
 		if nParams > ckptMaxParams {

@@ -79,11 +79,36 @@ func FromPlain(d *mpc.Deployment, plain *ml.Model, loss LossKind) *Model {
 			m.layers = append(m.layers, newSecureRNN(m, i, pl.InStep, pl.Hidden, pl.Steps, act, pl.Wx, pl.Wh, pl.B))
 		case *ml.AvgPool:
 			m.layers = append(m.layers, &securePool{idx: i, p: pl})
+		case *ml.Attention:
+			m.layers = append(m.layers, newSecureAttention(m, i, attWeightsOf(pl)))
+		case *ml.TransformerBlock:
+			act1, hasAct1 := mapAct(pl.FF1.Act)
+			act2, hasAct2 := mapAct(pl.FF2.Act)
+			m.layers = append(m.layers, &secureTransformer{
+				att: newSecureAttention(m, i, attWeightsOf(pl.Att)),
+				// Feed-forward sub-layers get site indices far above any
+				// top-level layer index so their "L%d.*" keys can't collide.
+				ff1: newSecureDense(m, ffSiteBase+i*2, pl.FF1.InDim(), pl.FF1.OutDim(), act1, hasAct1, pl.FF1.W, pl.FF1.B),
+				ff2: newSecureDense(m, ffSiteBase+i*2+1, pl.FF2.InDim(), pl.FF2.OutDim(), act2, hasAct2, pl.FF2.W, pl.FF2.B),
+			})
 		default:
 			panic(fmt.Sprintf("secureml: unsupported layer type %T", l))
 		}
 	}
 	return m
+}
+
+// ffSiteBase offsets the site indices of transformer feed-forward
+// sub-layers past any plausible top-level layer index (Load caps layer
+// count at 1024).
+const ffSiteBase = 1 << 16
+
+func attWeightsOf(a *ml.Attention) *attentionWeights {
+	return &attentionWeights{
+		heads: a.Heads, causal: a.Causal,
+		wq: a.Wq, wk: a.Wk, wv: a.Wv, wo: a.Wo,
+		bq: a.Bq, bk: a.Bk, bv: a.Bv, bo: a.Bo,
+	}
 }
 
 func mapAct(a ml.Activation) (mpc.ActivationKind, bool) {
@@ -310,6 +335,26 @@ func (m *Model) RevealInto(plain *ml.Model) {
 			pl.Wx.CopyFrom(sl.wx.reveal())
 			pl.Wh.CopyFrom(sl.wh.reveal())
 			pl.B.CopyFrom(sl.b.reveal())
+		case *secureAttention:
+			revealAttention(sl, plain.Layers[i].(*ml.Attention))
+		case *secureTransformer:
+			pl := plain.Layers[i].(*ml.TransformerBlock)
+			revealAttention(sl.att, pl.Att)
+			pl.FF1.W.CopyFrom(sl.ff1.w.reveal())
+			pl.FF1.B.CopyFrom(sl.ff1.b.reveal())
+			pl.FF2.W.CopyFrom(sl.ff2.w.reveal())
+			pl.FF2.B.CopyFrom(sl.ff2.b.reveal())
 		}
 	}
+}
+
+func revealAttention(sl *secureAttention, pl *ml.Attention) {
+	pl.Wq.CopyFrom(sl.wq.reveal())
+	pl.Wk.CopyFrom(sl.wk.reveal())
+	pl.Wv.CopyFrom(sl.wv.reveal())
+	pl.Wo.CopyFrom(sl.wo.reveal())
+	pl.Bq.CopyFrom(sl.bq.reveal())
+	pl.Bk.CopyFrom(sl.bk.reveal())
+	pl.Bv.CopyFrom(sl.bv.reveal())
+	pl.Bo.CopyFrom(sl.bo.reveal())
 }

@@ -144,6 +144,9 @@ var (
 	NewCNN = ml.NewCNN
 	// NewRNNModel is an Elman cell plus a dense readout.
 	NewRNNModel = ml.NewRNNModel
+	// NewTransformer is an input projection, one causal multi-head
+	// attention block with a feed-forward stack, and a dense readout.
+	NewTransformer = ml.NewTransformer
 	// NewLinearRegression is a single linear layer with MSE.
 	NewLinearRegression = ml.NewLinearRegression
 	// NewLogisticRegression uses the paper's piecewise activation (Eq. 9).

@@ -6,12 +6,15 @@
 #
 # Usage: scripts/fleet_drill.sh [build-flags...]
 #   e.g. scripts/fleet_drill.sh -race
+# SESSIONS (default 64) sets the concurrent drill sessions; nightly runs
+# the same script at a multiple of the CI count.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_FLAGS=("$@")
 WORK="$(mktemp -d)"
 SEED=20240808
+SESSIONS="${SESSIONS:-64}"
 
 echo "== building (${BUILD_FLAGS[*]:-no extra flags}) into $WORK"
 go build "${BUILD_FLAGS[@]}" -o "$WORK/psml-router" ./cmd/psml-router
@@ -21,8 +24,11 @@ go build "${BUILD_FLAGS[@]}" -o "$WORK/fleet-drill" ./examples/fleet
 
 PIDS=()
 cleanup() {
-  # Negative status from already-dead processes is fine here.
+  # Negative status from already-dead processes is fine here. pkill -P
+  # sweeps the whole child tree, so a server that outlived its entry in
+  # PIDS (or a helper it spawned) cannot leak past the drill.
   kill "${PIDS[@]}" 2>/dev/null || true
+  pkill -P $$ 2>/dev/null || true
   wait 2>/dev/null || true
   rm -rf "$WORK"
 }
@@ -35,13 +41,18 @@ spawn() { # spawn NAME cmd args...
   echo "   $name pid $! ($*)"
 }
 
-# Fixed loopback ports (picked high to dodge the common dev ranges).
-DEALER=127.0.0.1:29400
-FACE0=127.0.0.1:29300
-FACE1=127.0.0.1:29301
-HEALTH=127.0.0.1:29350
-A0=127.0.0.1:29101; A1=127.0.0.1:29102; APEER=127.0.0.1:29201
-B0=127.0.0.1:29111; B1=127.0.0.1:29112; BPEER=127.0.0.1:29211
+# Free loopback ports from the kernel (scripts/freeport holds all nine
+# listeners open before printing, so the ten are distinct). Fixed port
+# lists collide when two drills — or a drill and a dev server — share a
+# machine.
+mapfile -t PORTS < <(go run ./scripts/freeport 10)
+[ "${#PORTS[@]}" -eq 10 ] || { echo "freeport returned ${#PORTS[@]} ports, want 10" >&2; exit 1; }
+DEALER=127.0.0.1:${PORTS[0]}
+FACE0=127.0.0.1:${PORTS[1]}
+FACE1=127.0.0.1:${PORTS[2]}
+HEALTH=127.0.0.1:${PORTS[3]}
+A0=127.0.0.1:${PORTS[4]}; A1=127.0.0.1:${PORTS[5]}; APEER=127.0.0.1:${PORTS[6]}
+B0=127.0.0.1:${PORTS[7]}; B1=127.0.0.1:${PORTS[8]}; BPEER=127.0.0.1:${PORTS[9]}
 
 echo "== starting the fleet"
 spawn dealer "$WORK/psml-dealer" -listen "$DEALER" -seed "$SEED"
@@ -82,10 +93,10 @@ grep -q 'replica_joined replica=pair-b' "$WORK/router.log" || {
   exit 1
 }
 
-echo "== running the drill client (64 sessions, kill after round 3)"
+echo "== running the drill client ($SESSIONS sessions, kill after round 3)"
 READY="$WORK/ready"; KILLED="$WORK/killed"
 "$WORK/fleet-drill" -face0 "$FACE0" -face1 "$FACE1" -dealer-seed "$SEED" \
-  -sessions 64 -rounds 6 -kill-round 3 -ready-file "$READY" -killed-file "$KILLED" &
+  -sessions "$SESSIONS" -rounds 6 -kill-round 3 -ready-file "$READY" -killed-file "$KILLED" &
 CLIENT=$!
 PIDS+=($CLIENT)
 

@@ -1,0 +1,42 @@
+// Command freeport prints N free loopback TCP ports, one per line.
+// All N listeners are held open until every port is printed, so the
+// ports are distinct; they are released just before exit. Drill scripts
+// use it instead of fixed port lists, which collide when two drills (or
+// a drill and a dev server) share a machine.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+)
+
+func main() {
+	n := 1
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 || v > 256 {
+			fmt.Fprintf(os.Stderr, "usage: freeport [count 1..256]\n")
+			os.Exit(2)
+		}
+		n = v
+	}
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lns = append(lns, ln)
+	}
+	for _, ln := range lns {
+		fmt.Println(ln.Addr().(*net.TCPAddr).Port)
+	}
+}
