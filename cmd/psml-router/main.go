@@ -40,7 +40,8 @@ func main() {
 	healthListen := flag.String("health-listen", ":9350", "address where replicas register and keep their health links")
 	clientTimeout := flag.Duration("client-timeout", 30*time.Second, "per-frame deadline on client connections; also the session idle timeout (0 disables)")
 	backendTimeout := flag.Duration("backend-timeout", 30*time.Second, "per-frame deadline on replica connections; must exceed a replica's worst-case request time")
-	maxAttempts := flag.Int("max-attempts", 4, "backends one request may be offered to before its session fails")
+	maxAttempts := flag.Int("max-attempts", 4, "backends one request may be offered to before the request fails with a typed retryable error")
+	retryAfter := flag.Duration("retry-after", 50*time.Millisecond, "retry hint carried on retryable error frames (no replicas, exhausted attempts)")
 	vnodes := flag.Int("vnodes", fleet.DefaultVnodes, "virtual nodes per replica on the consistent-hash ring")
 	heartbeat := flag.Duration("health-heartbeat", 500*time.Millisecond, "heartbeat interval on replica health links")
 	missBudget := flag.Int("health-miss-budget", 3, "missed heartbeat intervals before a replica is declared dead")
@@ -89,6 +90,7 @@ func main() {
 		ClientTimeout:  *clientTimeout,
 		BackendTimeout: *backendTimeout,
 		MaxAttempts:    *maxAttempts,
+		RetryAfter:     *retryAfter,
 		Log:            logger,
 	})
 

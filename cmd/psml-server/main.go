@@ -29,8 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -64,6 +66,8 @@ func main() {
 	dealerDial := flag.String("dealer-dial", "", "dial a psml-dealer here and serve dealer-fed (two-matrix) requests from its triplet streams (requires -pair-id; both parties of the pair must configure it)")
 	pairID := flag.Uint64("pair-id", 0, "this server pair's identity at the dealer; both parties must agree (requires -dealer-dial)")
 	feedDepth := flag.Int("triplet-feed-depth", 8, "per-shape credit headroom kept with the dealer (requires -dealer-dial)")
+	dealerReconnectAttempts := flag.Int("dealer-reconnect-attempts", 60, "max connect attempts per dealer-link (re)establishment — sized to outlast a dealer restart (requires -dealer-dial)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on the first SIGINT/SIGTERM: announce DRAIN to the router (if registered), stop accepting clients, and give in-flight sessions this long to finish; a second signal (or the timeout) stops hard")
 	routerRegister := flag.String("router-register", "", "register this server pair with the psml-router health listener at this address (run on ONE party per pair; requires the -advertise flags)")
 	replicaName := flag.String("replica-name", "", "this pair's stable identity on the router's consistent-hash ring (requires -router-register)")
 	advertise0 := flag.String("advertise-party0", "", "party 0's client address as the router should dial it (requires -router-register)")
@@ -96,10 +100,49 @@ func main() {
 		log.Fatalf("-router-register requires -replica-name, -advertise-party0 and -advertise-party1")
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Two-phase shutdown: the first signal drains (DRAIN announced to the
+	// router, client listener closed, in-flight sessions finish), the
+	// second — or the drain timeout — cancels ctx and stops hard. The
+	// drain goroutine is armed below, once the listener and the fleet
+	// agent exist.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 
 	logger := obs.NewLogger(os.Stderr, obs.Default)
+
+	var drainMu sync.Mutex
+	var drainLn net.Listener            // client listener, once it exists
+	var drainAgent *comm.SupervisedLink // fleet health link, if registered
+	go func() {
+		select {
+		case <-sigs:
+		case <-ctx.Done():
+			return
+		}
+		drainMu.Lock()
+		ln, agent := drainLn, drainAgent
+		drainMu.Unlock()
+		if ln == nil {
+			cancel() // not serving yet: nothing to drain
+			return
+		}
+		log.Printf("party %d: draining (no new sessions; in-flight get %v; signal again to stop hard)", *party, *drainTimeout)
+		if agent != nil {
+			if err := fleet.SendDrain(agent); err != nil {
+				logger.Error("drain_announce", err)
+			}
+		}
+		ln.Close() // ServeClients finishes in-flight sessions and returns
+		select {
+		case <-sigs:
+		case <-time.After(*drainTimeout):
+		case <-ctx.Done():
+			return
+		}
+		cancel()
+	}()
 
 	// Optional observability listener: Prometheus text metrics, a liveness
 	// probe, and pprof. Off by default — it exposes timing side channels.
@@ -168,6 +211,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("client listen: %v", err)
 	}
+	drainMu.Lock()
+	drainLn = ln
+	drainMu.Unlock()
 	cfg := mpc.ServeConfig{
 		MaxSessions:   *maxSessions,
 		ClientTimeout: *clientTimeout,
@@ -176,16 +222,26 @@ func main() {
 	}
 
 	// Trusted-dealer feed: connect to the precompute tier and serve the
-	// two-matrix request form from its triplet streams. The connection is
-	// retried at startup (dealer and servers race to come up); a feed
-	// that dies later fails dealer-fed requests, which a fleet absorbs by
-	// re-routing — see tripletpool.DealerClient.
+	// two-matrix request form from its triplet streams. The connection
+	// runs under a supervised link that owns the dial — it retries at
+	// startup (dealer and servers race to come up) and again after every
+	// loss, and a restarted dealer resumes each deterministic stream from
+	// this replica's RESUME cursors — see tripletpool.DealerClient.
 	if *dealerDial != "" {
-		dc, err := comm.DialRetry(*dealerDial, comm.RetryConfig{})
-		if err != nil {
-			log.Fatalf("dealer dial: %v", err)
-		}
-		feed, err := tripletpool.NewDealerClient(dc, *party, *pairID, tripletpool.FeedConfig{Depth: *feedDepth})
+		addr := *dealerDial
+		feed, err := tripletpool.NewDealerClient(func() (*comm.Conn, error) {
+			c, err := comm.Dial(addr)
+			if err != nil {
+				return nil, err
+			}
+			c.SetTimeouts(0, 10*time.Second)
+			return c, nil
+		}, *party, *pairID, tripletpool.FeedConfig{
+			Depth: *feedDepth,
+			Supervisor: comm.SupervisorConfig{
+				ReconnectAttempts: *dealerReconnectAttempts,
+			},
+		})
 		if err != nil {
 			log.Fatalf("dealer feed: %v", err)
 		}
@@ -210,6 +266,9 @@ func main() {
 			log.Fatalf("router register: %v", err)
 		}
 		defer agent.Close()
+		drainMu.Lock()
+		drainAgent = agent
+		drainMu.Unlock()
 		log.Printf("party %d: registered replica %q with router %s", *party, *replicaName, *routerRegister)
 	}
 	if *wirePipeline {

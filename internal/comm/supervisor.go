@@ -86,6 +86,7 @@ var (
 	supResyncDiscards atomic.Int64
 	supDupFrames      atomic.Int64
 	supShedFrames     atomic.Int64
+	supPeerResets     atomic.Int64
 	supHeartbeats     atomic.Int64
 	supBufferedFrames atomic.Int64
 	supBufferedBytes  atomic.Int64
@@ -100,6 +101,7 @@ type SupervisorStats struct {
 	ResyncDiscards int64 // in-flight frames discarded at resync (peer already had them)
 	DupFrames      int64 // inbound duplicates dropped after a replay overlap
 	ShedFrames     int64 // buffered frames dropped because the link died for good
+	PeerResets     int64 // tolerated peer restarts (AllowPeerRestart stream resets)
 	Heartbeats     int64 // heartbeat frames sent
 	BufferedFrames int64 // gauge: unacknowledged frames currently buffered
 	BufferedBytes  int64 // gauge: bytes of unacknowledged frames
@@ -114,6 +116,7 @@ func SupervisorTotals() SupervisorStats {
 		ResyncDiscards: supResyncDiscards.Load(),
 		DupFrames:      supDupFrames.Load(),
 		ShedFrames:     supShedFrames.Load(),
+		PeerResets:     supPeerResets.Load(),
 		Heartbeats:     supHeartbeats.Load(),
 		BufferedFrames: supBufferedFrames.Load(),
 		BufferedBytes:  supBufferedBytes.Load(),
@@ -156,6 +159,17 @@ type SupervisorConfig struct {
 	// ObserveRTT, when set, receives one heartbeat round-trip sample per
 	// acknowledged heartbeat (the hook the metrics layer uses).
 	ObserveRTT func(time.Duration)
+	// AllowPeerRestart makes a resync with a peer whose sequence state
+	// does not cover ours a recoverable event instead of ErrPeerStateLost:
+	// the link resets to a fresh stream (sequence numbers restart at 1,
+	// unacknowledged buffered frames are shed and counted on
+	// SupervisorTotals) and OnPeerReset callbacks fire so the application
+	// can re-establish its own state. This is only sound for protocols
+	// whose per-link state is re-derivable — the dealer feed is the model:
+	// triplet streams are deterministic functions of (seed, shape, cursor),
+	// so a replica re-sends its cursors and the restarted dealer resumes
+	// exactly where the old one died.
+	AllowPeerRestart bool
 }
 
 func (c SupervisorConfig) withDefaults() SupervisorConfig {
@@ -262,6 +276,8 @@ type SupervisedLink struct {
 	closed      bool
 	err         error
 	onReconnect []func() // run after every successful re-establishment
+	onPeerReset []func() // run after a tolerated peer-restart resync
+	peerReset   bool     // the last resync reset the stream (consumed by supervise)
 	nextSeq     uint64   // next outbound data sequence number (first is 1)
 	delivered   uint64   // highest inbound seq handed to the inbox
 	peerAck     uint64   // highest outbound seq the peer confirmed
@@ -292,6 +308,12 @@ func NewSupervisedLink(connect func() (Framer, error), cfg SupervisorConfig) (*S
 		s.fail(err)
 		return nil, err
 	}
+	// A reset on the *initial* handshake (we are the fresh side talking to
+	// a peer with state) needs no callback: nothing could have registered
+	// one yet, and the application has no stream state to re-derive.
+	s.mu.Lock()
+	s.peerReset = false
+	s.mu.Unlock()
 	go s.supervise(sc)
 	return s, nil
 }
@@ -396,6 +418,31 @@ func (s *SupervisedLink) notifyReconnect() {
 	}
 }
 
+// OnPeerReset registers f to run after a resync that reset the stream
+// because the peer restarted (AllowPeerRestart). Unlike OnReconnect —
+// which means "the same conversation resumed over a new path" — a peer
+// reset means the conversation itself restarted from scratch: every
+// unacknowledged outbound frame was shed and the peer remembers nothing.
+// This is where the application re-derives its link state (the dealer
+// feed re-sends its per-shape resume cursors here). Callbacks run on the
+// supervisor goroutine before the OnReconnect callbacks and must not
+// block.
+func (s *SupervisedLink) OnPeerReset(f func()) {
+	s.mu.Lock()
+	s.onPeerReset = append(s.onPeerReset, f)
+	s.mu.Unlock()
+}
+
+// notifyPeerReset runs the registered peer-reset callbacks.
+func (s *SupervisedLink) notifyPeerReset() {
+	s.mu.Lock()
+	cbs := append([]func(){}, s.onPeerReset...)
+	s.mu.Unlock()
+	for _, f := range cbs {
+		f()
+	}
+}
+
 // supervise replaces dead connections until the link closes or a
 // reconnect cycle fails for good.
 func (s *SupervisedLink) supervise(sc *supConn) {
@@ -413,6 +460,13 @@ func (s *SupervisedLink) supervise(sc *supConn) {
 			return
 		}
 		supReconnects.Add(1)
+		s.mu.Lock()
+		reset := s.peerReset
+		s.peerReset = false
+		s.mu.Unlock()
+		if reset {
+			s.notifyPeerReset()
+		}
 		s.notifyReconnect()
 		sc = nc
 	}
@@ -501,13 +555,37 @@ func (s *SupervisedLink) resync(c Framer) (*supConn, error) {
 		s.mu.Unlock()
 		return nil, s.err
 	}
-	if peerDelivered > s.nextSeq-1 {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("comm: peer acknowledges frame %d, only %d were sent: %w", peerDelivered, s.nextSeq-1, ErrPeerStateLost)
-	}
-	if s.delivered > peerSent {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("comm: peer claims %d frames sent, %d were already delivered: %w", peerSent, s.delivered, ErrPeerStateLost)
+	if stateLost := peerDelivered > s.nextSeq-1 || s.delivered > peerSent; stateLost {
+		if !s.cfg.AllowPeerRestart {
+			if peerDelivered > s.nextSeq-1 {
+				s.mu.Unlock()
+				return nil, fmt.Errorf("comm: peer acknowledges frame %d, only %d were sent: %w", peerDelivered, s.nextSeq-1, ErrPeerStateLost)
+			}
+			s.mu.Unlock()
+			return nil, fmt.Errorf("comm: peer claims %d frames sent, %d were already delivered: %w", peerSent, s.delivered, ErrPeerStateLost)
+		}
+		// Tolerated peer restart: the old conversation is unrecoverable on
+		// the wire, but the application can re-derive it. Reset to a fresh
+		// stream — shed every unacknowledged frame (the restarted peer
+		// could not sequence-check a replay anyway) and restart sequence
+		// numbers from 1 on both directions. Both ends run this same check,
+		// so the side that kept state resets to match the fresh side.
+		shedFrames := int64(len(s.replay))
+		shedBytes := s.replayBytes
+		s.replay = nil
+		s.replayBytes = 0
+		s.nextSeq = 1
+		s.delivered = 0
+		s.peerAck = 0
+		s.peerReset = true
+		if shedFrames > 0 {
+			supShedFrames.Add(shedFrames)
+			supBufferedFrames.Add(-shedFrames)
+			supBufferedBytes.Add(-shedBytes)
+			s.space.Broadcast()
+		}
+		supPeerResets.Add(1)
+		peerDelivered = 0
 	}
 	// Frames the peer delivered but whose acks died with the old
 	// connection: their in-flight legs are discarded here, not replayed.

@@ -1,0 +1,431 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parsecureml/internal/comm"
+	"parsecureml/internal/mpc"
+	"parsecureml/internal/obs"
+	"parsecureml/internal/rng"
+)
+
+// TestRouterTypedNoReplicas is the regression for the no-replica path:
+// the session gets a typed, retryable error frame in-band — with a
+// retry-after hint — and the SAME connections serve the next request
+// once capacity joins, proving the failure no longer kills the session.
+func TestRouterTypedNoReplicas(t *testing.T) {
+	reg := NewRegistry(0)
+	face := startRouter(t, reg)
+	c0, c1 := dialFaces(t, face)
+	defer c0.Close()
+	defer c1.Close()
+	p := rng.NewPool(3)
+
+	before := routerErrorFrames.Value()
+	err := routedRequest(t, p, c0, c1, 7)
+	if err == nil {
+		t.Fatal("request against an empty fleet succeeded")
+	}
+	var re *mpc.RouteError
+	if !errors.As(err, &re) {
+		t.Fatalf("empty-fleet failure is not a RouteError: %v", err)
+	}
+	if re.Code != mpc.RouteNoReplicas {
+		t.Fatalf("code %s, want %s", re.Code, mpc.RouteNoReplicas)
+	}
+	if !re.Retryable() {
+		t.Fatalf("no-replica error not retryable: %v", re)
+	}
+	if re.RetryAfter <= 0 {
+		t.Fatalf("no-replica error carries no retry-after hint: %v", re)
+	}
+	if routerErrorFrames.Value() == before {
+		t.Fatal("typed error frame not counted")
+	}
+
+	// Capacity arrives; the untouched connections must now serve.
+	addr, kill := startReplicaPair(t)
+	defer kill()
+	if err := reg.Join(Replica{Name: "pair-a", Addr: addr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := routedRequest(t, p, c0, c1, 7); err != nil {
+		t.Fatalf("session did not survive the typed error: %v", err)
+	}
+}
+
+// TestRouterClientRetry drives mpc.RequestMulRetry against a fleet that
+// starts empty and gains a replica mid-retry: the client rides the
+// typed retryable errors (same request id each attempt) until the join
+// lands, and the retries are counted on the client metric.
+func TestRouterClientRetry(t *testing.T) {
+	reg := NewRegistry(0)
+	face := startRouter(t, reg)
+	c0, c1 := dialFaces(t, face)
+	defer c0.Close()
+	defer c1.Close()
+
+	addr, kill := startReplicaPair(t)
+	defer kill()
+	join := time.AfterFunc(150*time.Millisecond, func() {
+		if err := reg.Join(Replica{Name: "pair-a", Addr: addr}); err != nil {
+			t.Errorf("mid-retry join: %v", err)
+		}
+	})
+	defer join.Stop()
+
+	p := rng.NewPool(4)
+	a := p.NewUniform(5, 6, -1, 1)
+	b := p.NewUniform(6, 4, -1, 1)
+	a0, a1 := mpc.SplitRand(p, a)
+	b0, b1 := mpc.SplitRand(p, b)
+	t0, t1 := mpc.GenGemmTripletShares(p, 5, 6, 4)
+	retries := obs.Default.Counter("psml_client_retries_total", "")
+	before := retries.Value()
+	got, err := mpc.RequestMulRetry(c0, c1,
+		mpc.Shares{A: a0, B: b0, T: t0}, mpc.Shares{A: a1, B: b1, T: t1},
+		mpc.RetryConfig{Attempts: 50})
+	if err != nil {
+		t.Fatalf("retry ladder never recovered: %v", err)
+	}
+	if got == nil || got.Rows != 5 || got.Cols != 4 {
+		t.Fatalf("retried request returned a bad product: %+v", got)
+	}
+	if retries.Value() == before {
+		t.Fatal("recovery took no counted retries — the fleet was never empty?")
+	}
+}
+
+// countingListener accepts and immediately closes connections, counting
+// them: a stand-in backend that proves the router never dialed.
+func countingListener(t *testing.T) (addr string, hits *atomic.Int64, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits = new(atomic.Int64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			hits.Add(1)
+			c.Close()
+		}
+	}()
+	return ln.Addr().String(), hits, func() { ln.Close(); <-done }
+}
+
+// TestRouterDeadlineShed pins the acceptance criterion for deadline
+// budgets: a request whose remaining budget cannot cover the cost-model
+// exchange floor is refused at the router with a typed error — counted
+// on psml_deadline_shed_total and never dialed to a backend.
+func TestRouterDeadlineShed(t *testing.T) {
+	addr0, hits0, stop0 := countingListener(t)
+	defer stop0()
+	addr1, hits1, stop1 := countingListener(t)
+	defer stop1()
+	reg := NewRegistry(0)
+	if err := reg.Join(Replica{Name: "pair-a", Addr: [2]string{addr0, addr1}}); err != nil {
+		t.Fatal(err)
+	}
+	face := startRouter(t, reg)
+	c0, c1 := dialFaces(t, face)
+	defer c0.Close()
+	defer c1.Close()
+
+	// 2µs cannot cover the ~4µs exchange floor of a 5×6×4 request, with
+	// margin on both sides of the comparison regardless of scheduling.
+	p := rng.NewPool(5)
+	a := p.NewUniform(5, 6, -1, 1)
+	b := p.NewUniform(6, 4, -1, 1)
+	a0, a1 := mpc.SplitRand(p, a)
+	b0, b1 := mpc.SplitRand(p, b)
+	t0, t1 := mpc.GenGemmTripletShares(p, 5, 6, 4)
+	const id = uint64(11)
+	before := routerDeadlineShed.Value()
+	for i, leg := range []struct {
+		c  *comm.Conn
+		in mpc.Shares
+	}{
+		{c0, mpc.Shares{A: a0, B: b0, T: t0}},
+		{c1, mpc.Shares{A: a1, B: b1, T: t1}},
+	} {
+		if err := leg.c.WriteFrame(mpc.EncodeRequestBudget(id, 2*time.Microsecond, leg.in)); err != nil {
+			t.Fatalf("leg %d upload: %v", i, err)
+		}
+		f, err := leg.c.ReadFrame()
+		if err != nil {
+			t.Fatalf("leg %d reply: %v", i, err)
+		}
+		gotID, re, ok := mpc.DecodeRouteError(f)
+		if !ok {
+			t.Fatalf("leg %d: expired request got a non-error frame (%d bytes)", i, len(f))
+		}
+		if gotID != id || re.Code != mpc.RouteDeadlineExceeded {
+			t.Fatalf("leg %d: id %d code %s, want id %d %s", i, gotID, re.Code, id, mpc.RouteDeadlineExceeded)
+		}
+	}
+	if got := routerDeadlineShed.Value(); got != before+2 {
+		t.Fatalf("deadline sheds counted %d, want %d", got-before, 2)
+	}
+	if h0, h1 := hits0.Load(), hits1.Load(); h0 != 0 || h1 != 0 {
+		t.Fatalf("expired request reached a backend (dials: %d, %d), want none", h0, h1)
+	}
+}
+
+// TestRegistryDrain covers the registry half of graceful draining: a
+// draining replica leaves the ring (no new sessions) but stays a member,
+// and a session already pinned to it keeps serving until it completes.
+func TestRegistryDrain(t *testing.T) {
+	addrA, killA := startReplicaPair(t)
+	defer killA()
+	addrB, killB := startReplicaPair(t)
+	defer killB()
+	reg := NewRegistry(0)
+	if err := reg.Join(Replica{Name: "pair-a", Addr: addrA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Join(Replica{Name: "pair-b", Addr: addrB}); err != nil {
+		t.Fatal(err)
+	}
+	face := startRouter(t, reg)
+
+	var victim uint64
+	for id := uint64(1); ; id++ {
+		if rep, _ := reg.Pick(id); rep.Name == "pair-b" {
+			victim = id
+			break
+		}
+	}
+	// Pin a session to pair-b, then drain it mid-session.
+	p := rng.NewPool(6)
+	c0, c1 := dialFaces(t, face)
+	defer c0.Close()
+	defer c1.Close()
+	if err := routedRequest(t, p, c0, c1, victim); err != nil {
+		t.Fatalf("victim session before drain: %v", err)
+	}
+	if !reg.Drain("pair-b") {
+		t.Fatal("Drain(pair-b) reported no-op")
+	}
+	if reg.Drain("pair-b") {
+		t.Fatal("second Drain(pair-b) reported a state change")
+	}
+	if reg.Size() != 2 {
+		t.Fatalf("registry size %d after drain, want 2 (draining replica is still a member)", reg.Size())
+	}
+	if rep, ok := reg.Pick(victim); !ok || rep.Name != "pair-a" {
+		t.Fatalf("Pick(%d) after drain: %+v ok=%v, want pair-a", victim, rep, ok)
+	}
+	// The sticky session still has its backend: in-flight work finishes
+	// on the draining replica. (Fresh request id — ids key the replica's
+	// peer-link sub-streams — while the session key stays the first id.)
+	if err := routedRequest(t, p, c0, c1, victim+1<<32); err != nil {
+		t.Fatalf("in-flight session broken by drain: %v", err)
+	}
+	// A fresh session for the same key lands on the survivor.
+	n0, n1 := dialFaces(t, face)
+	defer n0.Close()
+	defer n1.Close()
+	if err := routedRequest(t, p, n0, n1, victim); err != nil {
+		t.Fatalf("fresh session after drain: %v", err)
+	}
+}
+
+// TestHealthDrainAnnouncement runs the DRAIN frame end to end: an agent
+// announces drain over its health link, the router takes it out of the
+// ring while keeping it registered, and the agent's eventual death still
+// evicts it.
+func TestHealthDrainAnnouncement(t *testing.T) {
+	reg := NewRegistry(0)
+	h := NewHealthServer(reg, HealthConfig{
+		Sup: comm.SupervisorConfig{
+			HeartbeatInterval: 10 * time.Millisecond,
+			MissBudget:        3,
+			ReconnectAttempts: 2,
+		},
+		AcceptWait: 100 * time.Millisecond,
+	})
+	ln, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- h.Serve(ctx, ln) }()
+
+	agentCtx, stopAgent := context.WithCancel(context.Background())
+	defer stopAgent()
+	rep := Replica{Name: "pair-a", Addr: [2]string{"127.0.0.1:1", "127.0.0.1:2"}}
+	sl, err := StartAgent(agentCtx, ln.Addr().String(), rep, comm.SupervisorConfig{
+		HeartbeatInterval: 10 * time.Millisecond,
+		MissBudget:        3,
+		ReconnectAttempts: 5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSize := func(want int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for reg.Size() != want && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if reg.Size() != want {
+			t.Fatalf("registry size %d, want %d (%s)", reg.Size(), want, what)
+		}
+	}
+	waitSize(1, "after agent join")
+	if _, ok := reg.Pick(42); !ok {
+		t.Fatal("Pick failed with a healthy replica")
+	}
+
+	if err := SendDrain(sl); err != nil {
+		t.Fatalf("drain announce: %v", err)
+	}
+	// Out of the ring, still a member.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := reg.Pick(42); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("draining replica still picked after 10s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reg.Size() != 1 {
+		t.Fatalf("registry size %d while draining, want 1", reg.Size())
+	}
+
+	sl.Close()
+	stopAgent()
+	waitSize(0, "after draining agent exits")
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("health serve: %v", err)
+	}
+}
+
+// TestRegistryTokens is the dropLink/re-JOIN race regression in
+// miniature: an eviction carrying a stale incarnation token must not
+// remove the member that re-registered since.
+func TestRegistryTokens(t *testing.T) {
+	reg := NewRegistry(0)
+	rep := Replica{Name: "pair-a", Addr: [2]string{"127.0.0.1:1", "127.0.0.1:2"}}
+	tok1, err := reg.JoinToken(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok2, err := reg.JoinToken(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok1 == tok2 {
+		t.Fatalf("re-JOIN reused token %d", tok1)
+	}
+	if reg.LeaveIf("pair-a", tok1) {
+		t.Fatal("stale eviction (old incarnation token) removed the member")
+	}
+	if reg.Size() != 1 {
+		t.Fatalf("registry size %d after stale eviction, want 1", reg.Size())
+	}
+	if _, _, ok := reg.PickToken(1); !ok {
+		t.Fatal("member gone from the ring after stale eviction")
+	}
+	if !reg.LeaveIf("pair-a", tok2) {
+		t.Fatal("current-token eviction refused")
+	}
+	if reg.Size() != 0 {
+		t.Fatalf("registry size %d after eviction, want 0", reg.Size())
+	}
+}
+
+// TestHealthAgentRestartSameName is the full race over real TCP: a dying
+// agent's eviction must not knock out the restarted agent that took over
+// the name, whichever order the two events land in.
+func TestHealthAgentRestartSameName(t *testing.T) {
+	reg := NewRegistry(0)
+	h := NewHealthServer(reg, HealthConfig{
+		Sup: comm.SupervisorConfig{
+			HeartbeatInterval: 10 * time.Millisecond,
+			MissBudget:        3,
+			ReconnectAttempts: 2,
+		},
+		AcceptWait: 50 * time.Millisecond,
+	})
+	ln, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- h.Serve(ctx, ln) }()
+
+	sup := comm.SupervisorConfig{
+		HeartbeatInterval: 10 * time.Millisecond,
+		MissBudget:        3,
+		ReconnectAttempts: 2,
+	}
+	rep := Replica{Name: "pair-a", Addr: [2]string{"127.0.0.1:1", "127.0.0.1:2"}}
+	ctx1, stop1 := context.WithCancel(context.Background())
+	sl1, err := StartAgent(ctx1, ln.Addr().String(), rep, sup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Size() != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reg.Size() != 1 {
+		t.Fatal("first incarnation never joined")
+	}
+
+	// Kill the first incarnation and immediately start its replacement
+	// under the same name: the old link's delayed eviction races the new
+	// registration.
+	sl1.Close()
+	stop1()
+	ctx2, stop2 := context.WithCancel(context.Background())
+	defer stop2()
+	sl2, err := StartAgent(ctx2, ln.Addr().String(), rep, sup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl2.Close()
+
+	// Past the old link's worst-case death detection, the replica must be
+	// registered — and stay registered.
+	time.Sleep(500 * time.Millisecond)
+	deadline = time.Now().Add(10 * time.Second)
+	for reg.Size() != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reg.Size() != 1 {
+		t.Fatalf("registry size %d after restart settled, want 1", reg.Size())
+	}
+	for i := 0; i < 20; i++ {
+		time.Sleep(10 * time.Millisecond)
+		if reg.Size() != 1 {
+			t.Fatalf("restarted replica evicted by the stale link death (size %d)", reg.Size())
+		}
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("health serve: %v", err)
+	}
+}

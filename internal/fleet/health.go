@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parsecureml/internal/comm"
@@ -29,6 +30,27 @@ const joinMagic = 0x50534d46
 
 // joinProtoVersion is bumped on incompatible JOIN changes.
 const joinProtoVersion = 1
+
+// drainMagic tags fleet DRAIN frames ("PSDR"): a replica announcing it
+// is leaving gracefully. The router takes it out of the ring — no new
+// sessions — while the health link and the replica's in-flight sessions
+// run on until the replica exits.
+const drainMagic = 0x50534452
+
+// encodeDrain serializes a drain announcement (the link identifies the
+// replica; the frame carries only its tag and version).
+func encodeDrain() []byte {
+	buf := make([]byte, 0, 8)
+	buf = binary.LittleEndian.AppendUint32(buf, drainMagic)
+	return binary.LittleEndian.AppendUint32(buf, joinProtoVersion)
+}
+
+// isDrain recognizes a DRAIN frame.
+func isDrain(f []byte) bool {
+	return len(f) == 8 &&
+		binary.LittleEndian.Uint32(f[0:4]) == drainMagic &&
+		binary.LittleEndian.Uint32(f[4:8]) == joinProtoVersion
+}
 
 // encodeJoin serializes a replica announcement.
 func encodeJoin(rep Replica) []byte {
@@ -99,17 +121,27 @@ type HealthServer struct {
 
 // replicaLink is the router-side state for one replica's health link:
 // re-accepted connections are handed to the supervisor's connect
-// through redial.
+// through redial. token tracks the registry registration of the
+// incarnation the link currently vouches for — refreshed when a re-JOIN
+// arrives through the redial path — so the link's death evicts exactly
+// what it registered and nothing newer (LeaveIf).
 type replicaLink struct {
 	name   string
 	redial chan *comm.Conn
+	token  atomic.Uint64
 }
 
-// NewHealthServer constructs a health listener over reg.
+// NewHealthServer constructs a health listener over reg. The router-side
+// supervised links always run with AllowPeerRestart: a replica that
+// crashed and came back re-dials with fresh supervisor state, and the
+// resync must treat that as a stream reset, not a fatal state loss that
+// would kill the link (and the registration) just as the replica
+// returned.
 func NewHealthServer(reg *Registry, cfg HealthConfig) *HealthServer {
 	if cfg.AcceptWait <= 0 {
 		cfg.AcceptWait = 3 * time.Second
 	}
+	cfg.Sup.AllowPeerRestart = true
 	return &HealthServer{reg: reg, cfg: cfg, links: make(map[string]*replicaLink)}
 }
 
@@ -158,9 +190,15 @@ func (h *HealthServer) handle(ctx context.Context, conn *comm.Conn) {
 	h.mu.Lock()
 	if link, ok := h.links[rep.Name]; ok {
 		h.mu.Unlock()
-		// Existing link: hand the connection to its pending reconnect. If
-		// none is waiting (or a previous spare is parked), drop the spare —
-		// the replica retries.
+		// Existing link: hand the connection to its pending reconnect, and
+		// refresh the registration under a fresh token — a restarted
+		// replica re-announces with possibly new serving addresses, and the
+		// new token shields it from a stale eviction the dying incarnation
+		// may still have in flight. If no reconnect is waiting (or a
+		// previous spare is parked), drop the spare — the replica retries.
+		if tok, jerr := h.reg.JoinToken(rep); jerr == nil {
+			link.token.Store(tok)
+		}
 		select {
 		case link.redial <- conn:
 		default:
@@ -190,17 +228,37 @@ func (h *HealthServer) handle(ctx context.Context, conn *comm.Conn) {
 	}
 	stop := context.AfterFunc(ctx, func() { sl.Close() })
 	defer stop()
-	if err := h.reg.Join(rep); err != nil {
+	tok, err := h.reg.JoinToken(rep)
+	if err != nil {
 		h.dropLink(rep.Name, link)
 		sl.Close()
 		h.cfg.Log.Error("health_join", err)
 		return
 	}
+	link.token.Store(tok)
 	h.cfg.Log.Event("replica_joined", "replica", rep.Name, "addr0", rep.Addr[0], "addr1", rep.Addr[1])
-	// The replica sends no data frames; ReadFrame returns only when the
-	// link dies for good (heartbeat expiry + exhausted re-accepts).
-	_, rerr := sl.ReadFrame()
-	h.reg.Leave(rep.Name)
+	// Data frames from the replica are lifecycle announcements (DRAIN);
+	// ReadFrame fails only when the link dies for good (heartbeat expiry
+	// + exhausted re-accepts).
+	var rerr error
+	for {
+		var f []byte
+		if f, rerr = sl.ReadFrame(); rerr != nil {
+			break
+		}
+		if isDrain(f) {
+			if h.reg.Drain(rep.Name) {
+				h.cfg.Log.Event("replica_draining", "replica", rep.Name)
+			}
+			continue
+		}
+		// Unknown announcement from a newer replica: ignore, don't kill
+		// the link over it.
+	}
+	// Evict only the incarnation this link vouches for: if the replica
+	// re-registered through the redial path while this eviction was in
+	// flight, the token moved on and the new incarnation stays.
+	h.reg.LeaveIf(rep.Name, link.token.Load())
 	h.dropLink(rep.Name, link)
 	sl.Close()
 	if ctx.Err() == nil {
@@ -225,9 +283,12 @@ func (h *HealthServer) dropLink(name string, link *replicaLink) {
 
 // StartAgent runs a replica's side of the health protocol: dial the
 // router, announce rep, and keep the supervised link alive until ctx
-// ends. The returned link is for Close/Err inspection; the caller's
-// serving is unaffected by router loss (the agent just keeps retrying
-// in the background until its attempts run out).
+// ends. The returned link is for Close/Err inspection and for SendDrain;
+// the caller's serving is unaffected by router loss (the agent just
+// keeps retrying in the background until its attempts run out). The
+// link runs with AllowPeerRestart: a restarted router accepts the
+// re-JOIN with fresh supervisor state, and the agent must resync
+// against it instead of declaring the fleet lost.
 func StartAgent(ctx context.Context, routerAddr string, rep Replica, sup comm.SupervisorConfig, log *obs.Logger) (*comm.SupervisedLink, error) {
 	connect := func() (comm.Framer, error) {
 		c, err := comm.Dial(routerAddr)
@@ -241,6 +302,7 @@ func StartAgent(ctx context.Context, routerAddr string, rep Replica, sup comm.Su
 		}
 		return c, nil
 	}
+	sup.AllowPeerRestart = true
 	sl, err := comm.NewSupervisedLink(connect, sup)
 	if err != nil {
 		return nil, err
@@ -254,4 +316,16 @@ func StartAgent(ctx context.Context, routerAddr string, rep Replica, sup comm.Su
 		}
 	}()
 	return sl, nil
+}
+
+// SendDrain announces on a replica's health link (StartAgent's return)
+// that the replica is leaving gracefully: the router stops routing new
+// sessions to it, while in-flight sessions — and the link itself — run
+// on. The caller then stops accepting clients, waits out its in-flight
+// work, and exits. Safe to call more than once.
+func SendDrain(sl *comm.SupervisedLink) error {
+	if err := sl.WriteFrame(encodeDrain()); err != nil {
+		return fmt.Errorf("fleet: drain announce: %w", err)
+	}
+	return nil
 }

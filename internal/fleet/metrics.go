@@ -17,4 +17,16 @@ var (
 	routerRetries        = obs.Default.Counter("psml_router_retries_total", "Request re-sends after a backend failure (same or new replica).")
 	routerFailures       = obs.Default.Counter("psml_router_request_failures_total", "Requests abandoned after exhausting backend retries.")
 	routerNoReplicas     = obs.Default.Counter("psml_router_no_replica_total", "Routing attempts that found an empty registry.")
+
+	// Graceful drain: replicas that announced DRAIN (taken out of the
+	// ring, in-flight sessions untouched) and how many are draining now.
+	routerDrains   = obs.Default.Counter("psml_drain_total", "Replica DRAIN announcements honored (taken out of the ring).")
+	routerDraining = obs.Default.Gauge("psml_draining_replicas", "Replicas currently draining: registered but out of the ring.")
+
+	// Deadline budgets and in-band failures: requests shed at the router
+	// because their remaining budget could not cover the cost-model floor
+	// (never dialed), and typed error frames returned to clients instead
+	// of closing their connections.
+	routerDeadlineShed = obs.Default.Counter("psml_deadline_shed_total", "Requests shed at the router: remaining deadline budget below the cost-model exchange floor (never dialed).")
+	routerErrorFrames  = obs.Default.Counter("psml_router_error_frames_total", "Typed route-error frames returned to clients in-band (session kept open).")
 )

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"parsecureml/internal/comm"
+	"parsecureml/internal/mpc"
 	"parsecureml/internal/obs"
 )
 
@@ -51,6 +52,10 @@ type RouterConfig struct {
 	// MaxAttempts bounds how many backends one request may be offered to
 	// (first try included) before the session fails. Default 4.
 	MaxAttempts int
+	// RetryAfter is the hint carried on retryable error frames — how long
+	// a client should wait before re-sending (registry churn settles,
+	// agents re-join). Default 50ms.
+	RetryAfter time.Duration
 	// Log receives structured routing events; nil silences them.
 	Log *obs.Logger
 }
@@ -61,6 +66,9 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 4
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 50 * time.Millisecond
 	}
 	return c
 }
@@ -125,6 +133,7 @@ type session struct {
 	keySet  bool
 	backend *comm.Conn
 	name    string // replica currently serving the session
+	token   uint64 // registration token of the incarnation backend was dialed to
 }
 
 func (s *session) closeBackend() {
@@ -160,11 +169,20 @@ func (r *Router) serveConn(client *comm.Conn, face int) {
 			s.keySet = true
 		}
 		routerRequests.Inc()
-		resp, err := s.relay(frame, respBuf)
-		if err != nil {
+		resp, rerr := s.relay(frame, respBuf)
+		if rerr != nil {
+			// Typed in-band failure: the client gets an error frame it can
+			// retry on, and the session survives — one failed placement no
+			// longer kills a connection with other requests behind it.
 			routerFailures.Inc()
-			r.cfg.Log.Error("relay", err, "face", face, "key", fmt.Sprintf("%016x", s.key))
-			return
+			routerErrorFrames.Inc()
+			reqID := binary.LittleEndian.Uint64(frame)
+			r.cfg.Log.Event("route_error", "face", face, "key", fmt.Sprintf("%016x", s.key),
+				"code", rerr.Code.String())
+			if err := client.WriteFrame(mpc.EncodeRouteError(reqID, rerr.Code, rerr.RetryAfter)); err != nil {
+				return
+			}
+			continue
 		}
 		respBuf = resp
 		if err := client.WriteFrame(resp); err != nil {
@@ -177,22 +195,52 @@ func (r *Router) serveConn(client *comm.Conn, face int) {
 // response, re-routing on backend failure. The retry ladder per
 // failure: re-dial the same replica once (a dropped connection is not
 // proof of death), and when the dial itself fails, evict the replica
-// from the registry and let the key re-hash.
-func (s *session) relay(frame, respBuf []byte) ([]byte, error) {
+// from the registry — scoped to the incarnation that was picked
+// (LeaveIf), so a replica that re-registered meanwhile survives — and
+// let the key re-hash.
+//
+// Failures come back as a typed *mpc.RouteError instead of closing the
+// session. Requests carrying a deadline envelope are budget-checked
+// before every dial: the moment the remaining budget cannot cover the
+// cost model's exchange floor for the request's shape, the request is
+// shed without touching a backend, and the budget each backend sees has
+// the router's own elapsed time already subtracted.
+func (s *session) relay(frame, respBuf []byte) ([]byte, *mpc.RouteError) {
 	cfg := s.r.cfg
+	arrival := time.Now()
+	budget, hasBudget := mpc.PeekBudget(frame)
+	var floor time.Duration
+	if hasBudget {
+		if m, k, n, ok := mpc.PeekRequestShape(frame); ok {
+			floor = mpc.DeadlineEstimate(m, k, n)
+		}
+	}
 	redialed := false
 	var lastErr error
 	for attempt := 0; attempt < cfg.MaxAttempts; {
+		if hasBudget {
+			remaining := budget - time.Since(arrival)
+			if remaining <= floor {
+				routerDeadlineShed.Inc()
+				cfg.Log.Event("deadline_shed", "face", s.face, "key", fmt.Sprintf("%016x", s.key),
+					"remaining", remaining.String(), "floor", floor.String())
+				return nil, &mpc.RouteError{Code: mpc.RouteDeadlineExceeded}
+			}
+			mpc.SetBudget(frame, remaining)
+		}
 		if s.backend == nil {
-			rep, ok := cfg.Registry.Pick(s.key)
+			rep, token, ok := cfg.Registry.PickToken(s.key)
 			if !ok {
 				routerNoReplicas.Inc()
-				return nil, fmt.Errorf("fleet: no replicas registered (last backend error: %v)", lastErr)
+				cfg.Log.Event("no_replicas", "face", s.face, "key", fmt.Sprintf("%016x", s.key),
+					"last_err", fmt.Sprint(lastErr))
+				return nil, &mpc.RouteError{Code: mpc.RouteNoReplicas, RetryAfter: cfg.RetryAfter}
 			}
 			c, err := comm.Dial(rep.Addr[s.face])
 			if err != nil {
-				// Unreachable: evict so every session's next pick skips it.
-				cfg.Registry.Leave(rep.Name)
+				// Unreachable: evict (this incarnation only) so every
+				// session's next pick skips it.
+				cfg.Registry.LeaveIf(rep.Name, token)
 				cfg.Log.Event("replica_evicted", "replica", rep.Name, "cause", "dial failed", "face", s.face)
 				lastErr = err
 				attempt++
@@ -206,6 +254,7 @@ func (s *session) relay(frame, respBuf []byte) ([]byte, error) {
 			}
 			s.backend = c
 			s.name = rep.Name
+			s.token = token
 		}
 		if err := s.backend.WriteFrame(frame); err == nil {
 			resp, err := s.backend.ReadFrameInto(respBuf)
@@ -222,11 +271,14 @@ func (s *session) relay(frame, respBuf []byte) ([]byte, error) {
 		routerRetries.Inc()
 		attempt++
 		if redialed {
-			// Second consecutive failure on this replica: evict.
-			cfg.Registry.Leave(s.name)
+			// Second consecutive failure on this replica: evict the
+			// incarnation the session was dialed to.
+			cfg.Registry.LeaveIf(s.name, s.token)
 			cfg.Log.Event("replica_evicted", "replica", s.name, "cause", "repeated backend failure", "face", s.face)
 		}
 		redialed = true
 	}
-	return nil, fmt.Errorf("fleet: request %016x abandoned after %d attempts: %w", s.key, cfg.MaxAttempts, lastErr)
+	cfg.Log.Event("retries_exhausted", "face", s.face, "key", fmt.Sprintf("%016x", s.key),
+		"attempts", fmt.Sprint(cfg.MaxAttempts), "last_err", fmt.Sprint(lastErr))
+	return nil, &mpc.RouteError{Code: mpc.RouteRetriesExhausted, RetryAfter: cfg.RetryAfter}
 }

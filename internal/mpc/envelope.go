@@ -1,0 +1,235 @@
+package mpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"parsecureml/internal/hw"
+)
+
+// Request envelopes: optional fixed-size extensions riding between the
+// 8-byte request id and the shares payload, so deadline metadata crosses
+// every hop (client → router → replica) inside the one frame the hops
+// already relay. Both are distinguished from legacy frames by a 4-byte
+// magic at offset 8 — legacy payloads start with a tensor codec tag
+// ('D'/'H'/'S'), which no magic's leading byte collides with, so old
+// clients and new servers interoperate in both directions.
+//
+//	deadline: [id u64] "PSDL" [budget-micros u32] [shares...]
+//	error:    [id u64] "PSER" [code u32] [retry-after-micros u32]
+//
+// The budget is RELATIVE (time remaining), not an absolute deadline:
+// hops subtract their own elapsed time before forwarding, so the scheme
+// needs no clock synchronization between client, router, and replicas.
+
+const (
+	deadlineMagic  = 0x5053444C // "PSDL"
+	routeErrMagic  = 0x50534552 // "PSER"
+	envelopeBytes  = 8          // magic + one u32, either envelope kind
+	routeErrFrameB = requestIDBytes + envelopeBytes + 4
+)
+
+// RouteErrorCode classifies a typed protocol error frame.
+type RouteErrorCode uint32
+
+const (
+	// RouteNoReplicas: the router's registry is empty (or fully draining);
+	// retryable once capacity joins.
+	RouteNoReplicas RouteErrorCode = 1
+	// RouteRetriesExhausted: every relay attempt in the router's ladder
+	// failed; retryable — the next attempt re-picks on a refreshed ring.
+	RouteRetriesExhausted RouteErrorCode = 2
+	// RouteDeadlineExceeded: the request's remaining budget cannot cover
+	// the cost-model estimate for its shape; not retryable within the
+	// same budget.
+	RouteDeadlineExceeded RouteErrorCode = 3
+	// RouteDraining: the replica is draining and accepts no new work;
+	// retryable against a re-picked replica.
+	RouteDraining RouteErrorCode = 4
+)
+
+func (c RouteErrorCode) String() string {
+	switch c {
+	case RouteNoReplicas:
+		return "no_replicas"
+	case RouteRetriesExhausted:
+		return "retries_exhausted"
+	case RouteDeadlineExceeded:
+		return "deadline_exceeded"
+	case RouteDraining:
+		return "draining"
+	}
+	return fmt.Sprintf("code_%d", uint32(c))
+}
+
+// RouteError is the decoded form of a typed error frame: a failure the
+// serving fleet reports to the client in-band instead of closing the
+// connection. Retryable errors carry a hint for when to try again.
+type RouteError struct {
+	Code       RouteErrorCode
+	RetryAfter time.Duration
+}
+
+func (e *RouteError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("mpc: route error %s (retry after %v)", e.Code, e.RetryAfter)
+	}
+	return fmt.Sprintf("mpc: route error %s", e.Code)
+}
+
+// Retryable reports whether the same request may succeed if re-sent —
+// the fleet-side condition was transient (capacity, placement), not a
+// property of the request itself.
+func (e *RouteError) Retryable() bool {
+	switch e.Code {
+	case RouteNoReplicas, RouteRetriesExhausted, RouteDraining:
+		return true
+	}
+	return false
+}
+
+// budgetMicros clamps a duration into the envelope's u32 microsecond
+// field: sub-microsecond remainders round to zero (already expired for
+// scheduling purposes) and anything over ~71 minutes saturates.
+func budgetMicros(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	us := d / time.Microsecond
+	if us > 1<<32-1 {
+		return 1<<32 - 1
+	}
+	return uint32(us)
+}
+
+// EncodeRequestBudget is EncodeRequest with a deadline envelope: the
+// request carries its remaining time budget, which each hop decrements
+// and checks against the cost model before doing work.
+func EncodeRequestBudget(id uint64, budget time.Duration, in Shares) []byte {
+	frame := make([]byte, 0, requestIDBytes+envelopeBytes+sharesSize(in))
+	frame = binary.LittleEndian.AppendUint64(frame, id)
+	frame = binary.LittleEndian.AppendUint32(frame, deadlineMagic)
+	frame = binary.LittleEndian.AppendUint32(frame, budgetMicros(budget))
+	return appendShares(frame, in)
+}
+
+// PeekBudget reads a request frame's deadline envelope without decoding
+// the payload. ok is false on legacy frames (no envelope).
+func PeekBudget(frame []byte) (budget time.Duration, ok bool) {
+	if len(frame) < requestIDBytes+envelopeBytes ||
+		binary.LittleEndian.Uint32(frame[requestIDBytes:]) != deadlineMagic {
+		return 0, false
+	}
+	us := binary.LittleEndian.Uint32(frame[requestIDBytes+4:])
+	return time.Duration(us) * time.Microsecond, true
+}
+
+// SetBudget rewrites the deadline envelope's budget in place — the relay
+// hop's "subtract my elapsed time" step, touching none of the payload.
+// Reports false if the frame carries no envelope.
+func SetBudget(frame []byte, budget time.Duration) bool {
+	if len(frame) < requestIDBytes+envelopeBytes ||
+		binary.LittleEndian.Uint32(frame[requestIDBytes:]) != deadlineMagic {
+		return false
+	}
+	binary.LittleEndian.PutUint32(frame[requestIDBytes+4:], budgetMicros(budget))
+	return true
+}
+
+// stripEnvelope returns the shares payload of a request frame, skipping
+// a deadline envelope when present. Frames too short to carry an id
+// yield an empty payload rather than a panic.
+func stripEnvelope(frame []byte) []byte {
+	if len(frame) < requestIDBytes {
+		return nil
+	}
+	if len(frame) >= requestIDBytes+envelopeBytes &&
+		binary.LittleEndian.Uint32(frame[requestIDBytes:]) == deadlineMagic {
+		return frame[requestIDBytes+envelopeBytes:]
+	}
+	return frame[requestIDBytes:]
+}
+
+// PeekRequestShape reads the multiplication geometry (m, k, n) off a
+// request frame from the matrix headers alone — no payload decode, so a
+// router can run the cost model on frames it only relays. ok is false
+// when the frame is too short or not a dense/FP16 request.
+func PeekRequestShape(frame []byte) (m, k, n int, ok bool) {
+	p := stripEnvelope(frame)
+	rows, cols, size, ok := peekMatrixHeader(p)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	m, k = rows, cols
+	if size > len(p) {
+		return 0, 0, 0, false
+	}
+	brows, bcols, _, ok := peekMatrixHeader(p[size:])
+	if !ok || brows != k {
+		return 0, 0, 0, false
+	}
+	return m, k, bcols, true
+}
+
+// peekMatrixHeader reads one encoded matrix's geometry and total wire
+// size without touching its element data.
+func peekMatrixHeader(p []byte) (rows, cols, size int, ok bool) {
+	if len(p) < 9 {
+		return 0, 0, 0, false
+	}
+	rows = int(binary.LittleEndian.Uint32(p[1:]))
+	cols = int(binary.LittleEndian.Uint32(p[5:]))
+	if rows <= 0 || cols <= 0 {
+		return 0, 0, 0, false
+	}
+	switch p[0] {
+	case 'D':
+		size = 9 + 4*rows*cols
+	case 'H':
+		size = 9 + 2*rows*cols
+	default:
+		return 0, 0, 0, false
+	}
+	return rows, cols, size, true
+}
+
+// DeadlineEstimate is the floor a request's remaining budget must cover
+// for shape (m, k, n): the paper platform's online-phase exchange model —
+// transfer time for the E/F volume plus the fixed per-exchange latency of
+// the two peer rounds. Deliberately optimistic (it prices only the
+// irreducible exchange, not compute or queueing): a budget below it
+// CANNOT be met, so shedding on it never drops a request that had a
+// chance, while expired work is refused before it occupies a replica.
+func DeadlineEstimate(m, k, n int) time.Duration {
+	p := hw.Paper()
+	secs := p.ExchangeTransferTime(m, k, n) + p.ExchangeFixedCost(2)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// EncodeRouteError builds a typed error frame for request id: the
+// in-band alternative to closing the client connection, so one failed
+// placement does not kill a session with other requests in flight.
+func EncodeRouteError(id uint64, code RouteErrorCode, retryAfter time.Duration) []byte {
+	frame := make([]byte, 0, routeErrFrameB)
+	frame = binary.LittleEndian.AppendUint64(frame, id)
+	frame = binary.LittleEndian.AppendUint32(frame, routeErrMagic)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(code))
+	return binary.LittleEndian.AppendUint32(frame, budgetMicros(retryAfter))
+}
+
+// DecodeRouteError recognizes a typed error frame. ok is false for any
+// other frame (a result, a legacy payload); the id is only meaningful
+// when ok.
+func DecodeRouteError(frame []byte) (id uint64, e *RouteError, ok bool) {
+	if len(frame) != routeErrFrameB ||
+		binary.LittleEndian.Uint32(frame[requestIDBytes:]) != routeErrMagic {
+		return 0, nil, false
+	}
+	id = binary.LittleEndian.Uint64(frame)
+	us := binary.LittleEndian.Uint32(frame[requestIDBytes+8:])
+	return id, &RouteError{
+		Code:       RouteErrorCode(binary.LittleEndian.Uint32(frame[requestIDBytes+4:])),
+		RetryAfter: time.Duration(us) * time.Microsecond,
+	}, true
+}

@@ -1,0 +1,235 @@
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"parsecureml/internal/rng"
+	"parsecureml/internal/tensor"
+)
+
+// envelopeShares builds one party's worth of 5×6×4 request shares.
+func envelopeShares(seed uint64) Shares {
+	p := rng.NewPool(seed)
+	a := p.NewUniform(5, 6, -1, 1)
+	b := p.NewUniform(6, 4, -1, 1)
+	a0, _ := SplitRand(p, a)
+	b0, _ := SplitRand(p, b)
+	t0, _ := GenGemmTripletShares(p, 5, 6, 4)
+	return Shares{A: a0, B: b0, T: t0}
+}
+
+// TestBudgetEnvelopeRoundTrip pins the deadline envelope's wire
+// contract: the budget survives encode → peek, the payload decodes
+// identically with and without the envelope, and legacy frames report
+// no budget.
+func TestBudgetEnvelopeRoundTrip(t *testing.T) {
+	in := envelopeShares(31)
+	const id = uint64(0xfeedbeefcafe)
+	budget := 1500 * time.Microsecond
+	frame := EncodeRequestBudget(id, budget, in)
+
+	got, ok := PeekBudget(frame)
+	if !ok || got != budget {
+		t.Fatalf("PeekBudget = %v ok=%v, want %v", got, ok, budget)
+	}
+	gotID, dec, err := DecodeRequest(frame)
+	if err != nil {
+		t.Fatalf("DecodeRequest on enveloped frame: %v", err)
+	}
+	if gotID != id {
+		t.Fatalf("id %#x, want %#x", gotID, id)
+	}
+	if !dec.A.ApproxEqual(in.A, 0) || !dec.B.ApproxEqual(in.B, 0) || !dec.T.Z.ApproxEqual(in.T.Z, 0) {
+		t.Fatal("enveloped payload did not survive the round trip bit-identically")
+	}
+
+	legacy := EncodeRequest(id, in)
+	if _, ok := PeekBudget(legacy); ok {
+		t.Fatal("legacy frame reported a deadline envelope")
+	}
+	if _, dec, err := DecodeRequest(legacy); err != nil || !dec.A.ApproxEqual(in.A, 0) {
+		t.Fatalf("legacy frame broken by envelope support: %v", err)
+	}
+
+	// Sub-microsecond and negative budgets clamp to zero (expired).
+	if got, ok := PeekBudget(EncodeRequestBudget(id, 400*time.Nanosecond, in)); !ok || got != 0 {
+		t.Fatalf("sub-µs budget = %v ok=%v, want 0", got, ok)
+	}
+	if got, ok := PeekBudget(EncodeRequestBudget(id, -time.Second, in)); !ok || got != 0 {
+		t.Fatalf("negative budget = %v ok=%v, want 0", got, ok)
+	}
+}
+
+// TestSetBudget checks the relay hop's in-place rewrite: only the budget
+// field changes, the payload stays intact, and legacy frames refuse the
+// write.
+func TestSetBudget(t *testing.T) {
+	in := envelopeShares(32)
+	frame := EncodeRequestBudget(9, 800*time.Microsecond, in)
+	if !SetBudget(frame, 300*time.Microsecond) {
+		t.Fatal("SetBudget refused an enveloped frame")
+	}
+	if got, ok := PeekBudget(frame); !ok || got != 300*time.Microsecond {
+		t.Fatalf("budget after rewrite = %v ok=%v, want 300µs", got, ok)
+	}
+	if _, dec, err := DecodeRequest(frame); err != nil || !dec.T.Z.ApproxEqual(in.T.Z, 0) {
+		t.Fatalf("payload damaged by in-place budget rewrite: %v", err)
+	}
+	if SetBudget(EncodeRequest(9, in), time.Millisecond) {
+		t.Fatal("SetBudget wrote to a legacy frame")
+	}
+}
+
+// TestPeekRequestShape checks the router's header-only geometry read on
+// both frame forms, and that non-request frames are refused.
+func TestPeekRequestShape(t *testing.T) {
+	in := envelopeShares(33)
+	for _, frame := range [][]byte{
+		EncodeRequest(5, in),
+		EncodeRequestBudget(5, time.Millisecond, in),
+	} {
+		m, k, n, ok := PeekRequestShape(frame)
+		if !ok || m != 5 || k != 6 || n != 4 {
+			t.Fatalf("PeekRequestShape = (%d,%d,%d) ok=%v, want (5,6,4)", m, k, n, ok)
+		}
+	}
+	for _, bad := range [][]byte{
+		nil,
+		{1, 2, 3},
+		EncodeRequest(5, in)[:12],
+		EncodeRouteError(5, RouteNoReplicas, 0),
+	} {
+		if _, _, _, ok := PeekRequestShape(bad); ok {
+			t.Fatalf("PeekRequestShape accepted a non-request frame of %d bytes", len(bad))
+		}
+	}
+	if est := DeadlineEstimate(5, 6, 4); est <= 0 || est > time.Millisecond {
+		t.Fatalf("DeadlineEstimate(5,6,4) = %v, want a positive sub-ms exchange floor", est)
+	}
+}
+
+// TestRouteErrorRoundTrip pins the typed error frame: codes,
+// retry-after, retryability, and the discrimination against every other
+// frame kind on the same connection.
+func TestRouteErrorRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		code      RouteErrorCode
+		retryable bool
+	}{
+		{RouteNoReplicas, true},
+		{RouteRetriesExhausted, true},
+		{RouteDeadlineExceeded, false},
+		{RouteDraining, true},
+	} {
+		frame := EncodeRouteError(77, tc.code, 50*time.Millisecond)
+		id, re, ok := DecodeRouteError(frame)
+		if !ok || id != 77 {
+			t.Fatalf("%s: decode id=%d ok=%v", tc.code, id, ok)
+		}
+		if re.Code != tc.code || re.RetryAfter != 50*time.Millisecond {
+			t.Fatalf("%s: decoded %+v", tc.code, re)
+		}
+		if re.Retryable() != tc.retryable {
+			t.Fatalf("%s: Retryable() = %v, want %v", tc.code, re.Retryable(), tc.retryable)
+		}
+		if re.Error() == "" {
+			t.Fatalf("%s: empty error string", tc.code)
+		}
+	}
+	// Nothing else on the wire may decode as an error frame: requests,
+	// enveloped requests, and truncated/padded variants.
+	in := envelopeShares(34)
+	errFrame := EncodeRouteError(1, RouteNoReplicas, 0)
+	for _, other := range [][]byte{
+		nil,
+		EncodeRequest(1, in),
+		EncodeRequestBudget(1, time.Second, in),
+		errFrame[:len(errFrame)-1],
+		append(append([]byte{}, errFrame...), 0),
+	} {
+		if _, _, ok := DecodeRouteError(other); ok {
+			t.Fatalf("DecodeRouteError accepted a %d-byte non-error frame", len(other))
+		}
+	}
+	// The smallest legal result frame (id + dense 1×1 matrix) is 21
+	// bytes; the error frame's exact-length check can never collide.
+	if want := requestIDBytes + 9 + 4; want <= routeErrFrameB {
+		t.Fatalf("result frames (≥%d bytes) can collide with %d-byte error frames", want, routeErrFrameB)
+	}
+}
+
+// TestServeDeadlineShed drives the replica-side admission check end to
+// end: a request whose budget cannot cover the exchange floor is
+// refused with a typed deadline error before any MPC work, counted on
+// the server shed metric, and the session keeps serving.
+func TestServeDeadlineShed(t *testing.T) {
+	addr0, addr1, shutdown := startServePair(t, ServeConfig{
+		ClientTimeout: 10 * time.Second, PeerTimeout: 10 * time.Second,
+	})
+	defer shutdown()
+	c0, c1 := dialPair(t, addr0, addr1)
+	defer c0.Close()
+	defer c1.Close()
+
+	p := rng.NewPool(35)
+	a := p.NewUniform(5, 6, -1, 1)
+	b := p.NewUniform(6, 4, -1, 1)
+	a0, a1 := SplitRand(p, a)
+	b0, b1 := SplitRand(p, b)
+	t0, t1 := GenGemmTripletShares(p, 5, 6, 4)
+	in := [2]Shares{{A: a0, B: b0, T: t0}, {A: a1, B: b1, T: t1}}
+
+	before := metrics.deadlineShed.Value()
+	const id = uint64(21)
+	_, err := requestMulFrames(id, c0, c1,
+		EncodeRequestBudget(id, time.Microsecond, in[0]),
+		EncodeRequestBudget(id, time.Microsecond, in[1]))
+	if err == nil {
+		t.Fatal("1µs-budget request was served")
+	}
+	var re *RouteError
+	if !errors.As(err, &re) || re.Code != RouteDeadlineExceeded {
+		t.Fatalf("expired request failed with %v, want %s", err, RouteDeadlineExceeded)
+	}
+	if got := metrics.deadlineShed.Value(); got != before+2 {
+		t.Fatalf("server sheds counted %d, want 2", got-before)
+	}
+	// The same connections still serve: admission refusal is in-band.
+	got, err := RequestMulID(id+1, c0, c1, in[0], in[1])
+	if err != nil {
+		t.Fatalf("session did not survive the admission refusal: %v", err)
+	}
+	if !got.ApproxEqual(tensor.MulNaive(a, b), 1e-3) {
+		t.Fatal("post-shed request returned a wrong product")
+	}
+}
+
+// TestRetryHint checks the client ladder's safety condition: re-sending
+// is offered only when EVERY leg failure is a retryable route error.
+func TestRetryHint(t *testing.T) {
+	retryable := func(server int, after time.Duration) error {
+		return &ServerError{Server: server, Op: "route",
+			Err: &RouteError{Code: RouteNoReplicas, RetryAfter: after}}
+	}
+	wait, ok := retryHint(errors.Join(
+		retryable(0, 20*time.Millisecond), retryable(1, 70*time.Millisecond)))
+	if !ok || wait != 70*time.Millisecond {
+		t.Fatalf("both legs retryable: wait=%v ok=%v, want 70ms true", wait, ok)
+	}
+	if _, ok := retryHint(errors.Join(
+		retryable(0, 0),
+		&ServerError{Server: 1, Op: "result", Err: fmt.Errorf("connection reset")},
+	)); ok {
+		t.Fatal("mixed route/transport failure offered a retry")
+	}
+	if _, ok := retryHint(&ServerError{Server: 0, Op: "route",
+		Err: &RouteError{Code: RouteDeadlineExceeded}}); ok {
+		t.Fatal("deadline-exceeded offered a retry")
+	}
+	if _, ok := retryHint(fmt.Errorf("plain failure")); ok {
+		t.Fatal("plain error offered a retry")
+	}
+}

@@ -61,6 +61,12 @@ var metrics = struct {
 	staleFrames *obs.Counter
 	desyncs     *obs.Counter
 
+	// Deadline budgets: requests refused at admission because the
+	// remaining budget cannot cover the cost model's exchange floor, and
+	// client-side retries of retryable route errors.
+	deadlineShed  *obs.Counter
+	clientRetries *obs.Counter
+
 	// Supervised peer link: heartbeat round-trip time, observed once per
 	// acknowledged heartbeat (SupervisePeer wires it in).
 	linkRTT *obs.Histogram
@@ -109,6 +115,9 @@ var metrics = struct {
 
 	staleFrames: obs.Default.Counter("psml_stale_frames_total", "Orphaned frames discarded by request-id tagging (peer link and client results)."),
 	desyncs:     obs.Default.Counter("psml_peer_desync_total", "Links declared desynchronized after the stale-frame bound."),
+
+	deadlineShed:  obs.Default.Counter("psml_deadline_server_shed_total", "Requests refused at replica admission: remaining budget below the cost-model exchange floor."),
+	clientRetries: obs.Default.Counter("psml_client_retries_total", "RequestMulRetry attempts re-sent after a retryable route error."),
 
 	linkRTT: obs.Default.Histogram("psml_link_heartbeat_rtt_seconds", "Supervised peer-link heartbeat round-trip time."),
 }
@@ -195,5 +204,8 @@ func init() {
 	})
 	obs.Default.FuncGauge("psml_link_buffered_frames", "Unacknowledged frames currently buffered for replay on supervised links.", func() float64 {
 		return float64(comm.SupervisorTotals().BufferedFrames)
+	})
+	obs.Default.FuncCounter("psml_link_peer_resets_total", "Supervised-link resyncs that found a restarted peer and reset the stream (AllowPeerRestart).", func() float64 {
+		return float64(comm.SupervisorTotals().PeerResets)
 	})
 }

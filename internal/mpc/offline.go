@@ -26,13 +26,39 @@ func SplitRand(rp *rng.Pool, secret *tensor.Matrix) (s0, s1 *tensor.Matrix) {
 // (m×k)·(k×n) multiplication: U, V uniform, Z = U×V, each split into two
 // shares. Observed on the offline-phase histogram like the simulated
 // generator. Safe for concurrent use with a shared rp.
+//
+// Each call consumes exactly gemmTripletFills rng.Pool fills — the
+// invariant SkipGemmTriplets relies on to fast-forward a stream in O(1).
 func GenGemmTripletShares(rp *rng.Pool, m, k, n int) (p0, p1 TripletShares) {
 	defer metrics.phaseTriplet.Start().Stop()
-	u := rp.NewUniform(m, k, -1, 1)
-	v := rp.NewUniform(k, n, -1, 1)
-	z := tensor.MulTo(u, v)
-	u0, u1 := SplitRand(rp, u)
-	v0, v1 := SplitRand(rp, v)
-	z0, z1 := SplitRand(rp, z)
+	u := rp.NewUniform(m, k, -1, 1) // fill 1
+	v := rp.NewUniform(k, n, -1, 1) // fill 2
+	z := tensor.MulTo(u, v)         // pure compute, no fill
+	u0, u1 := SplitRand(rp, u)      // fill 3
+	v0, v1 := SplitRand(rp, v)      // fill 4
+	z0, z1 := SplitRand(rp, z)      // fill 5
 	return TripletShares{U: u0, V: v0, Z: z0}, TripletShares{U: u1, V: v1, Z: z1}
+}
+
+// gemmTripletFills is the number of rng.Pool fills one
+// GenGemmTripletShares call consumes: U, V, and the three SplitRand
+// masks. Fill IDs are what pin a pool's position in its deterministic
+// sequence (shapes do not matter — each fill reserves exactly one
+// stream namespace regardless of element count), so skipping a triplet
+// is a counter bump, not a generation.
+const gemmTripletFills = 5
+
+// SkipGemmTriplets advances rp past count GenGemmTripletShares calls
+// without generating anything: triplet j of a (seed, shape) stream is a
+// pure function of the fill cursor, so a restarted dealer fast-forwards
+// a stream to a replica's consume cursor in O(1) and then serves
+// bit-identical triplets from there. The fill counter deliberately
+// wraps exactly like sequential generation would (uint32 arithmetic),
+// keeping skip ≡ N sequential calls even across the wrap.
+func SkipGemmTriplets(rp *rng.Pool, count uint64) {
+	if count == 0 {
+		return
+	}
+	seed, fills := rp.Cursor()
+	rp.SetCursor(seed, fills+uint32(count*gemmTripletFills))
 }

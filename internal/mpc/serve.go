@@ -129,13 +129,15 @@ func EncodeRequest(id uint64, in Shares) []byte {
 	return appendShares(frame, in)
 }
 
-// DecodeRequest parses a frame produced by EncodeRequest.
+// DecodeRequest parses a frame produced by EncodeRequest or
+// EncodeRequestBudget — a deadline envelope, when present, is skipped
+// transparently (read it with PeekBudget).
 func DecodeRequest(frame []byte) (uint64, Shares, error) {
 	if len(frame) < requestIDBytes {
 		return 0, Shares{}, fmt.Errorf("mpc: request frame of %d bytes has no id", len(frame))
 	}
 	id := binary.LittleEndian.Uint64(frame)
-	in, err := DecodeShares(frame[requestIDBytes:])
+	in, err := DecodeShares(stripEnvelope(frame))
 	return id, in, err
 }
 
@@ -382,10 +384,17 @@ func RequestMul(s0, s1 comm.Framer, in0, in1 Shares) (*tensor.Matrix, error) {
 // session router also rely on it as the routing key, so both legs of
 // one call must carry the same id — which this guarantees.
 func RequestMulID(id uint64, s0, s1 comm.Framer, in0, in1 Shares) (*tensor.Matrix, error) {
+	return requestMulFrames(id, s0, s1, EncodeRequest(id, in0), EncodeRequest(id, in1))
+}
+
+// requestMulFrames runs both legs of one multiplication with prebuilt
+// request frames (EncodeRequest or EncodeRequestBudget output; both must
+// carry id).
+func requestMulFrames(id uint64, s0, s1 comm.Framer, f0, f1 []byte) (*tensor.Matrix, error) {
 	results := make(chan *ServerError, 2)
 	shares := [2]*tensor.Matrix{}
-	leg := func(server int, c comm.Framer, in Shares) *ServerError {
-		if err := c.WriteFrame(EncodeRequest(id, in)); err != nil {
+	leg := func(server int, c comm.Framer, req []byte) *ServerError {
+		if err := c.WriteFrame(req); err != nil {
 			return &ServerError{Server: server, Op: "upload", Err: err}
 		}
 		for tries := 0; tries < maxStaleFrames; tries++ {
@@ -403,6 +412,12 @@ func RequestMulID(id uint64, s0, s1 comm.Framer, in0, in1 Shares) (*tensor.Matri
 				metrics.staleFrames.Inc()
 				continue
 			}
+			// A typed error frame instead of a result: the fleet refused or
+			// failed this request in-band. Surface it through the usual
+			// ServerError wrapper (errors.As finds the *RouteError).
+			if _, re, ok := DecodeRouteError(f); ok {
+				return &ServerError{Server: server, Op: "route", Err: re}
+			}
 			m, _, err := tensor.DecodeMatrix(f[requestIDBytes:])
 			if err != nil {
 				return &ServerError{Server: server, Op: "decode", Err: err}
@@ -413,8 +428,8 @@ func RequestMulID(id uint64, s0, s1 comm.Framer, in0, in1 Shares) (*tensor.Matri
 		metrics.desyncs.Inc()
 		return &ServerError{Server: server, Op: "result", Err: ErrPeerDesync}
 	}
-	go func() { results <- leg(0, s0, in0) }()
-	go func() { results <- leg(1, s1, in1) }()
+	go func() { results <- leg(0, s0, f0) }()
+	go func() { results <- leg(1, s1, f1) }()
 	// Always collect both legs — returning on the first failure would
 	// leave the survivor mid-protocol on a connection the caller may
 	// reuse.
@@ -428,6 +443,90 @@ func RequestMulID(id uint64, s0, s1 comm.Framer, in0, in1 Shares) (*tensor.Matri
 		return nil, err
 	}
 	return RemoteCombine(shares[0], shares[1]), nil
+}
+
+// RetryConfig tunes RequestMulRetry.
+type RetryConfig struct {
+	// Attempts bounds the total tries, the first included. <= 0 selects 3.
+	Attempts int
+	// Budget, when positive, rides a deadline envelope on every request
+	// frame: the end-to-end time remaining, decremented by the client's
+	// own elapsed time across retries, so routers and replicas can shed
+	// work that can no longer make it.
+	Budget time.Duration
+	// MaxRetryAfter caps how long one retry sleeps on the fleet's
+	// retry-after hint. <= 0 selects 250ms.
+	MaxRetryAfter time.Duration
+}
+
+// RequestMulRetry is the session-level retry ladder on top of
+// RequestMulID: when every leg failure of an attempt is a retryable
+// RouteError (no replicas, a draining backend, an exhausted router
+// ladder — conditions where no backend ran the request), the SAME
+// request id is re-sent after the fleet's retry-after hint. The retried
+// multiplication is idempotent — the result is a deterministic function
+// of the input shares — so a duplicate execution is merely wasted work,
+// never a wrong answer. Non-retryable failures (transport errors,
+// decode failures, an exceeded deadline) surface immediately.
+func RequestMulRetry(s0, s1 comm.Framer, in0, in1 Shares, cfg RetryConfig) (*tensor.Matrix, error) {
+	attempts := cfg.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	maxWait := cfg.MaxRetryAfter
+	if maxWait <= 0 {
+		maxWait = 250 * time.Millisecond
+	}
+	id := newRequestID()
+	start := time.Now()
+	encode := func(in Shares) []byte {
+		if cfg.Budget > 0 {
+			return EncodeRequestBudget(id, cfg.Budget-time.Since(start), in)
+		}
+		return EncodeRequest(id, in)
+	}
+	for attempt := 1; ; attempt++ {
+		if cfg.Budget > 0 && time.Since(start) >= cfg.Budget {
+			return nil, &ServerError{Server: 0, Op: "route",
+				Err: &RouteError{Code: RouteDeadlineExceeded}}
+		}
+		m, err := requestMulFrames(id, s0, s1, encode(in0), encode(in1))
+		if err == nil {
+			return m, nil
+		}
+		wait, retryable := retryHint(err)
+		if !retryable || attempt >= attempts {
+			return nil, err
+		}
+		metrics.clientRetries.Inc()
+		if wait > maxWait {
+			wait = maxWait
+		}
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+}
+
+// retryHint reports whether EVERY leg failure inside err is a retryable
+// RouteError — the only condition under which re-sending the same id is
+// known safe and useful — and the largest retry-after hint among them.
+func retryHint(err error) (time.Duration, bool) {
+	legs := []error{err}
+	if j, ok := err.(interface{ Unwrap() []error }); ok {
+		legs = j.Unwrap()
+	}
+	var wait time.Duration
+	for _, e := range legs {
+		var re *RouteError
+		if !errors.As(e, &re) || !re.Retryable() {
+			return 0, false
+		}
+		if re.RetryAfter > wait {
+			wait = re.RetryAfter
+		}
+	}
+	return wait, len(legs) > 0
 }
 
 // ServeConfig tunes a serving accept loop.
@@ -722,6 +821,20 @@ func serveMuxLoop(party int, client *comm.Conn, mux *comm.Mux, bt batcher, cfg S
 			metrics.requestErrors.Inc()
 			h.ObserveSince(start)
 			return err
+		}
+		// Deadline admission: a budget-enveloped request whose remaining
+		// time cannot cover the cost model's exchange floor is refused
+		// in-band and the session continues — the refusal is deterministic
+		// in (budget, shape), so both parties of a pair decide identically.
+		if budget, ok := PeekBudget(frame); ok && budget < DeadlineEstimate(in.A.Rows, in.A.Cols, in.B.Cols) {
+			metrics.deadlineShed.Inc()
+			h.ObserveSince(start)
+			if err := client.WriteFrame(EncodeRouteError(id, RouteDeadlineExceeded, 0)); err != nil {
+				metrics.requestErrors.Inc()
+				return err
+			}
+			reqBuf = shrinkScratch(reqBuf, len(frame))
+			continue
 		}
 		var ci *tensor.Matrix
 		var release func()

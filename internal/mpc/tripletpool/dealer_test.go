@@ -2,6 +2,7 @@ package tripletpool
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -32,14 +33,27 @@ func startDealer(t *testing.T, cfg DealerConfig) (addr string, d *Dealer) {
 	return ln.Addr().String(), d
 }
 
+// feedConnect returns the dial func a test DealerClient runs under: a
+// plain dial with a bounded write deadline (the supervised link owns
+// retry and the read side).
+func feedConnect(addr string) func() (*comm.Conn, error) {
+	return func() (*comm.Conn, error) {
+		conn, err := comm.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		conn.SetTimeouts(0, 5*time.Second)
+		return conn, nil
+	}
+}
+
 // dialFeed connects one party's DealerClient.
 func dialFeed(t *testing.T, addr string, party int, pairID uint64, cfg FeedConfig) *DealerClient {
 	t.Helper()
-	conn, err := comm.DialRetry(addr, comm.RetryConfig{Attempts: 10, BaseDelay: 10 * time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
+	if cfg.Supervisor.ReconnectBase == 0 {
+		cfg.Supervisor.ReconnectBase = 10 * time.Millisecond
 	}
-	c, err := NewDealerClient(conn, party, pairID, cfg)
+	c, err := NewDealerClient(feedConnect(addr), party, pairID, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,18 +193,41 @@ func TestDealerBackpressure(t *testing.T) {
 }
 
 // TestDealerFeedFailsOnDeadDealer checks the advertised failure mode: a
-// dead dealer connection fails blocked and future feed calls instead of
+// feed whose reconnect budget is exhausted (the dealer is gone for
+// good, not just restarting) fails blocked and future calls instead of
 // wedging them.
 func TestDealerFeedFailsOnDeadDealer(t *testing.T) {
 	addr, _ := startDealer(t, DealerConfig{Seed: 3})
-	f0 := dialFeed(t, addr, 0, 9, FeedConfig{})
+	var conn *comm.Conn
+	dials := 0
+	f0, err := NewDealerClient(func() (*comm.Conn, error) {
+		dials++
+		if dials > 1 {
+			return nil, errors.New("dealer gone for good")
+		}
+		c, err := feedConnect(addr)()
+		if err != nil {
+			return nil, err
+		}
+		conn = c
+		return c, nil
+	}, 0, 9, FeedConfig{Supervisor: comm.SupervisorConfig{
+		ReconnectAttempts: 2,
+		ReconnectBase:     time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f0.Close)
 	if _, _, err := f0.Next(2, 3, 2); err != nil {
 		t.Fatal(err)
 	}
-	f0.conn.Close() // the transport dies under the feed
+	conn.Close() // the transport dies under the feed; every re-dial fails
+	// A fresh shape has nothing prefetched, so this Next must block until
+	// the reconnect budget is exhausted and then fail — not wedge.
 	errc := make(chan error, 1)
 	go func() {
-		_, _, err := f0.Next(2, 3, 2)
+		_, _, err := f0.Next(3, 3, 3)
 		errc <- err
 	}()
 	select {
@@ -201,7 +238,7 @@ func TestDealerFeedFailsOnDeadDealer(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("Next wedged on a dead dealer connection")
 	}
-	if _, err := f0.Take(2, 3, 2, 1); err == nil {
+	if _, err := f0.Take(2, 3, 2, 100); err == nil {
 		t.Fatal("Take on a dead feed returned nil error")
 	}
 }
@@ -220,6 +257,20 @@ func TestDealerProtoCodecs(t *testing.T) {
 	}
 	if _, _, err := decodeWant(encodeWant(shape{0, 4, 5}, 6)); err == nil {
 		t.Fatal("degenerate WANT accepted")
+	}
+	rs, from, rcount, err := decodeResume(encodeResume(shape{3, 4, 5}, 1<<40, 7))
+	if err != nil || rs != (shape{3, 4, 5}) || from != 1<<40 || rcount != 7 {
+		t.Fatalf("RESUME round trip: %+v %d %d %v", rs, from, rcount, err)
+	}
+	if _, _, _, err := decodeResume(encodeResume(shape{3, 0, 5}, 0, 1)); err == nil {
+		t.Fatal("degenerate RESUME accepted")
+	}
+	// The two ctl kinds must reject each other's frames.
+	if _, _, err := decodeWant(encodeResume(shape{3, 4, 5}, 0, 1)); err == nil {
+		t.Fatal("RESUME frame accepted as WANT")
+	}
+	if _, _, _, err := decodeResume(encodeWant(shape{3, 4, 5}, 1)); err == nil {
+		t.Fatal("WANT frame accepted as RESUME")
 	}
 	src := NewStreamSource(2)
 	p0, _ := src.Gen(2, 3, 4)

@@ -11,24 +11,29 @@ import (
 )
 
 // DealerClient is a computation party's end of the dealer feed: an
-// mpc.TripletFeed backed by one connection to cmd/psml-dealer. It
-// receives only THIS party's triplet halves — the share-separation
-// invariant holds on the wire, not just in process memory. Credits
-// (WANT frames) are issued lazily per shape, keeping Depth triplets of
-// headroom beyond what has been consumed, so the dealer's generation
-// follows observed demand instead of guessing shapes up front.
+// mpc.TripletFeed backed by one supervised connection to
+// cmd/psml-dealer. It receives only THIS party's triplet halves — the
+// share-separation invariant holds on the wire, not just in process
+// memory. Credits (WANT frames) are issued lazily per shape, keeping
+// Depth triplets of headroom beyond what has been consumed, so the
+// dealer's generation follows observed demand instead of guessing
+// shapes up front.
 //
-// A dead dealer connection fails the feed permanently: every blocked
-// and future Next/Take returns the link error, which the serving loop
-// surfaces as request failures. In a fleet deployment that is a replica
-// failure — the router re-routes the replica's sessions — not a
-// recovery problem this client solves.
+// The connection runs under comm.SupervisedLink with AllowPeerRestart:
+// a dealer crash (or standby takeover) is an outage, not a failure.
+// The client tracks a per-shape consumption floor (the lowest seq no
+// session has consumed yet); when the link reconnects to a dealer with
+// fresh state, every shape's stream is re-opened with a RESUME frame
+// carrying that floor, and the deterministic
+// (seed, shape, seq) streams make the resumed triplets bit-identical
+// to the ones the dead dealer would have sent. Only exhausting the
+// link's reconnect budget fails the feed permanently.
 type DealerClient struct {
 	party int
 	depth int
+	link  *comm.SupervisedLink
 	mux   *comm.Mux
 	ctl   *comm.MuxSession
-	conn  *comm.Conn
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -37,11 +42,38 @@ type DealerClient struct {
 }
 
 // feedShape is one shape's slice of the feed: delivered-but-unconsumed
-// triplets keyed by stream seq, plus the consume and credit cursors.
+// triplets keyed by stream seq, the allocation and consumption cursors,
+// and the credit high-water.
+//
+// Consumption is out of order: concurrent sessions Take announced seqs
+// in whatever order their exchanges land. floor is the lowest seq not
+// yet consumed and done records the holes above it, so floor — the
+// stream position a RESUME re-opens from — never skips a seq some
+// session still needs.
 type feedShape struct {
 	buf       map[uint64]mpc.TripletShares
-	low       uint64 // lowest seq not yet consumed via Next
-	requested uint64 // total credits sent for this shape
+	next      uint64              // next seq Next will allocate
+	floor     uint64              // lowest seq not yet consumed
+	done      map[uint64]struct{} // consumed seqs above floor (out-of-order holes)
+	requested uint64              // credit high-water: seqs below this are covered
+	resumed   bool                // RESUME sent on the current link incarnation
+}
+
+// consume marks seq consumed and slides floor over any contiguous run
+// of done seqs. Caller holds c.mu.
+func (fs *feedShape) consume(seq uint64) {
+	if seq != fs.floor {
+		fs.done[seq] = struct{}{}
+		return
+	}
+	fs.floor++
+	for {
+		if _, ok := fs.done[fs.floor]; !ok {
+			return
+		}
+		delete(fs.done, fs.floor)
+		fs.floor++
+	}
 }
 
 // FeedConfig tunes a DealerClient. The zero value selects the defaults.
@@ -49,12 +81,18 @@ type FeedConfig struct {
 	// Depth is the per-shape credit headroom kept beyond consumption —
 	// the feed-side analogue of Config.Depth. Default 8.
 	Depth int
+	// Supervisor tunes the underlying supervised link (reconnect budget,
+	// heartbeat cadence). AllowPeerRestart is forced on — dealer
+	// crash-resume is the point of this client.
+	Supervisor comm.SupervisorConfig
 }
 
 // Feed accounting, exposed as psml_triplet_feed_* metrics.
 var (
 	feedReceived atomic.Int64
 	feedBuffered atomic.Int64
+	feedDups     atomic.Int64
+	feedResumes  atomic.Int64
 	feedWaits    = obs.Default.Histogram("psml_triplet_feed_wait_seconds", "Time requests block waiting for a dealer-fed triplet to arrive.")
 )
 
@@ -65,20 +103,41 @@ func init() {
 	obs.Default.FuncGauge("psml_triplet_feed_buffered", "Dealer-fed triplet halves delivered but not yet consumed.", func() float64 {
 		return float64(feedBuffered.Load())
 	})
+	obs.Default.FuncCounter("psml_triplet_feed_duplicates_total", "Duplicate or stale triplet deliveries dropped (resume overlap).", func() float64 {
+		return float64(feedDups.Load())
+	})
+	obs.Default.FuncCounter("psml_dealer_resume_sent_total", "RESUME frames sent to the dealer (stream opens and post-restart re-opens).", func() float64 {
+		return float64(feedResumes.Load())
+	})
 }
 
-// NewDealerClient registers party under pairID with the dealer over
-// conn (freshly dialed, e.g. comm.DialRetry) and starts the feed. The
-// connection is owned by the client from here on.
-func NewDealerClient(conn *comm.Conn, party int, pairID uint64, cfg FeedConfig) (*DealerClient, error) {
+// NewDealerClient establishes party's feed under pairID. connect dials
+// the dealer and is owned by the client for its lifetime: it is called
+// for the initial connection and again after every link failure, so a
+// restarted dealer is re-reached automatically (use a plain dial — the
+// supervised link owns the retry/backoff policy). The hello frame is
+// sent on each fresh connection before the link's resync handshake.
+func NewDealerClient(connect func() (*comm.Conn, error), party int, pairID uint64, cfg FeedConfig) (*DealerClient, error) {
 	if cfg.Depth <= 0 {
 		cfg.Depth = 8
 	}
-	if err := conn.WriteFrame(encodeDealerHello(party, pairID)); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("tripletpool: dealer hello: %w", err)
+	scfg := cfg.Supervisor
+	scfg.AllowPeerRestart = true
+	link, err := comm.NewSupervisedLink(func() (comm.Framer, error) {
+		conn, err := connect()
+		if err != nil {
+			return nil, err
+		}
+		if err := conn.WriteFrame(encodeDealerHello(party, pairID)); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("tripletpool: dealer hello: %w", err)
+		}
+		return conn, nil
+	}, scfg)
+	if err != nil {
+		return nil, err
 	}
-	mux := comm.NewMux(conn, comm.MuxConfig{})
+	mux := comm.NewMux(link, comm.MuxConfig{})
 	ctl, err := mux.Open(dealerCtlID)
 	if err != nil {
 		mux.Close()
@@ -92,12 +151,13 @@ func NewDealerClient(conn *comm.Conn, party int, pairID uint64, cfg FeedConfig) 
 	c := &DealerClient{
 		party:  party,
 		depth:  cfg.Depth,
+		link:   link,
 		mux:    mux,
 		ctl:    ctl,
-		conn:   conn,
 		shapes: make(map[shape]*feedShape),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	link.OnPeerReset(c.onPeerReset)
 	go c.readLoop(feed)
 	return c, nil
 }
@@ -105,7 +165,7 @@ func NewDealerClient(conn *comm.Conn, party int, pairID uint64, cfg FeedConfig) 
 // Close tears the feed down; blocked Next/Take calls fail.
 func (c *DealerClient) Close() {
 	c.mux.Close()
-	c.conn.Close()
+	c.link.Close()
 	c.failLocked(fmt.Errorf("tripletpool: dealer feed closed"))
 }
 
@@ -118,7 +178,24 @@ func (c *DealerClient) failLocked(err error) {
 	c.mu.Unlock()
 }
 
-// readLoop dispatches FEED frames into per-shape buffers.
+// onPeerReset runs on the supervisor goroutine after a resync that
+// found a restarted dealer: every WANT in flight was shed with the old
+// conversation, so mark every stream un-resumed and wake the waiters —
+// each re-derives its credit through ensureCredit, which re-opens the
+// stream with a RESUME from the earliest seq still needed.
+func (c *DealerClient) onPeerReset() {
+	c.mu.Lock()
+	for _, fs := range c.shapes {
+		fs.resumed = false
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// readLoop dispatches FEED frames into per-shape buffers. A resumed
+// stream re-delivers from the consumption floor, overlapping what the
+// old dealer already handed out, so already-buffered and
+// already-consumed seqs are dropped as duplicates.
 func (c *DealerClient) readLoop(feed *comm.MuxSession) {
 	for {
 		f, err := feed.ReadFrame()
@@ -132,10 +209,17 @@ func (c *DealerClient) readLoop(feed *comm.MuxSession) {
 			return
 		}
 		feedReceived.Add(1)
-		feedBuffered.Add(1)
 		c.mu.Lock()
-		c.shape(s).buf[seq] = t
-		c.cond.Broadcast()
+		fs := c.shape(s)
+		_, dup := fs.buf[seq]
+		_, consumed := fs.done[seq]
+		if dup || consumed || seq < fs.floor {
+			feedDups.Add(1)
+		} else {
+			fs.buf[seq] = t
+			feedBuffered.Add(1)
+			c.cond.Broadcast()
+		}
 		c.mu.Unlock()
 	}
 }
@@ -144,17 +228,41 @@ func (c *DealerClient) readLoop(feed *comm.MuxSession) {
 func (c *DealerClient) shape(s shape) *feedShape {
 	fs, ok := c.shapes[s]
 	if !ok {
-		fs = &feedShape{buf: make(map[uint64]mpc.TripletShares)}
+		fs = &feedShape{
+			buf:  make(map[uint64]mpc.TripletShares),
+			done: make(map[uint64]struct{}),
+		}
 		c.shapes[s] = fs
 	}
 	return fs
 }
 
 // ensureCredit tops the shape's outstanding credits up to cover seq
-// `need` plus the configured headroom. Caller holds c.mu; the WANT
-// write happens without dropping it (mux writes only enqueue).
+// `need` plus the configured headroom. On a stream the current link
+// incarnation has not opened yet (first use, or after a dealer restart)
+// it sends a RESUME carrying the consume cursor instead of a plain
+// WANT. Caller holds c.mu; the writes happen without dropping it (mux
+// writes only enqueue, and the supervised link buffers while down).
 func (c *DealerClient) ensureCredit(s shape, fs *feedShape, need uint64) error {
 	target := need + 1 + uint64(c.depth)
+	if !fs.resumed {
+		from := fs.floor
+		if target < fs.requested {
+			// Keep the pre-restart high-water: other waiters' seqs up to it
+			// are covered by this one RESUME instead of one WANT each.
+			target = fs.requested
+		}
+		if target < from {
+			target = from
+		}
+		if err := c.ctl.WriteFrame(encodeResume(s, from, int(target-from))); err != nil {
+			return fmt.Errorf("tripletpool: dealer RESUME: %w", err)
+		}
+		feedResumes.Add(1)
+		fs.resumed = true
+		fs.requested = target
+		return nil
+	}
 	if fs.requested >= target {
 		return nil
 	}
@@ -176,8 +284,8 @@ func (c *DealerClient) Next(m, k, n int) (uint64, mpc.TripletShares, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	fs := c.shape(s)
-	seq := fs.low
-	fs.low++
+	seq := fs.next
+	fs.next++
 	return seq, c.waitLocked(s, fs, seq), c.err
 }
 
@@ -190,15 +298,18 @@ func (c *DealerClient) Take(m, k, n int, seq uint64) (mpc.TripletShares, error) 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	fs := c.shape(s)
-	if seq >= fs.low {
-		fs.low = seq + 1
+	if seq >= fs.next {
+		fs.next = seq + 1
 	}
 	return c.waitLocked(s, fs, seq), c.err
 }
 
 // waitLocked blocks until triplet seq of shape s arrives (issuing
-// credits to cover it) and pops it. On feed failure it returns the zero
-// value and leaves the error in c.err for the caller to surface.
+// credits to cover it) and pops it. An unconsumed seq pins the shape's
+// consumption floor at or below it, so a dealer restart mid-wait
+// re-delivers exactly this seq via the RESUME. On feed failure it
+// returns the zero value and leaves the error in c.err for the caller
+// to surface.
 func (c *DealerClient) waitLocked(s shape, fs *feedShape, seq uint64) mpc.TripletShares {
 	for {
 		if c.err != nil {
@@ -213,6 +324,7 @@ func (c *DealerClient) waitLocked(s shape, fs *feedShape, seq uint64) mpc.Triple
 		if t, ok := fs.buf[seq]; ok {
 			delete(fs.buf, seq)
 			feedBuffered.Add(-1)
+			fs.consume(seq)
 			return t
 		}
 		c.cond.Wait()

@@ -27,10 +27,26 @@ const (
 	dealerMagic = 0x50535444
 	// dealerProtoVersion is bumped on incompatible frame changes; the
 	// dealer rejects mismatches at hello time rather than mid-stream.
-	dealerProtoVersion = 1
+	// v2: ctl frames grew a kind tag and the RESUME frame (crash-resume
+	// cursors) — v1 peers are rejected at hello time.
+	dealerProtoVersion = 2
 	// Mux sub-stream ids, fixed by the protocol.
-	dealerCtlID  = 1 // server → dealer: WANT frames
+	dealerCtlID  = 1 // server → dealer: WANT / RESUME frames
 	dealerFeedID = 2 // dealer → server: FEED frames
+)
+
+// Ctl frame kinds (first byte of every frame on dealerCtlID).
+const (
+	// ctlWant grants incremental credit on an already-resumed stream.
+	ctlWant = 0x01
+	// ctlResume states the replica's consume cursor for one shape and
+	// opens (or re-opens) that stream: the dealer rewinds or
+	// fast-forwards to the cursor and replaces any prior credit with the
+	// carried count. Sent on first contact per shape and again after
+	// every dealer restart; the dealer ignores plain WANTs for a stream
+	// until it has seen this link incarnation's RESUME, so credit
+	// bookkeeping from a dead dealer can never leak into a fresh one.
+	ctlResume = 0x02
 )
 
 // helloBytes is the dealer hello frame: magic, version, party, pair id.
@@ -59,32 +75,77 @@ func decodeDealerHello(f []byte) (party int, pairID uint64, err error) {
 	return party, binary.LittleEndian.Uint64(f[12:20]), nil
 }
 
-// wantBytes is a WANT frame: shape dimensions plus a credit count.
-const wantBytes = 4*3 + 4
+// wantBytes is a WANT frame: kind tag, shape dimensions, credit count.
+const wantBytes = 1 + 4*3 + 4
 
 func encodeWant(s shape, count int) []byte {
 	buf := make([]byte, wantBytes)
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(s.M))
-	binary.LittleEndian.PutUint32(buf[4:8], uint32(s.K))
-	binary.LittleEndian.PutUint32(buf[8:12], uint32(s.N))
-	binary.LittleEndian.PutUint32(buf[12:16], uint32(count))
+	buf[0] = ctlWant
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(s.M))
+	binary.LittleEndian.PutUint32(buf[5:9], uint32(s.K))
+	binary.LittleEndian.PutUint32(buf[9:13], uint32(s.N))
+	binary.LittleEndian.PutUint32(buf[13:17], uint32(count))
 	return buf
 }
 
 func decodeWant(f []byte) (shape, int, error) {
-	if len(f) != wantBytes {
-		return shape{}, 0, fmt.Errorf("tripletpool: WANT frame is %d bytes, want %d", len(f), wantBytes)
+	if len(f) != wantBytes || f[0] != ctlWant {
+		return shape{}, 0, fmt.Errorf("tripletpool: bad WANT frame (%d bytes)", len(f))
 	}
-	s := shape{
-		M: int(binary.LittleEndian.Uint32(f[0:4])),
-		K: int(binary.LittleEndian.Uint32(f[4:8])),
-		N: int(binary.LittleEndian.Uint32(f[8:12])),
+	s, err := decodeCtlShape(f[1:13])
+	if err != nil {
+		return shape{}, 0, fmt.Errorf("tripletpool: WANT frame: %w", err)
 	}
-	count := int(binary.LittleEndian.Uint32(f[12:16]))
-	if s.M <= 0 || s.K <= 0 || s.N <= 0 || count <= 0 {
-		return shape{}, 0, fmt.Errorf("tripletpool: WANT frame with degenerate shape %dx%dx%d count %d", s.M, s.K, s.N, count)
+	count := int(binary.LittleEndian.Uint32(f[13:17]))
+	if count <= 0 {
+		return shape{}, 0, fmt.Errorf("tripletpool: WANT frame with degenerate count %d", count)
 	}
 	return s, count, nil
+}
+
+// resumeBytes is a RESUME frame: kind tag, shape dimensions, the
+// replica's consume cursor (next stream seq it needs), credit count.
+const resumeBytes = 1 + 4*3 + 8 + 4
+
+func encodeResume(s shape, from uint64, count int) []byte {
+	buf := make([]byte, resumeBytes)
+	buf[0] = ctlResume
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(s.M))
+	binary.LittleEndian.PutUint32(buf[5:9], uint32(s.K))
+	binary.LittleEndian.PutUint32(buf[9:13], uint32(s.N))
+	binary.LittleEndian.PutUint64(buf[13:21], from)
+	binary.LittleEndian.PutUint32(buf[21:25], uint32(count))
+	return buf
+}
+
+func decodeResume(f []byte) (s shape, from uint64, count int, err error) {
+	if len(f) != resumeBytes || f[0] != ctlResume {
+		return shape{}, 0, 0, fmt.Errorf("tripletpool: bad RESUME frame (%d bytes)", len(f))
+	}
+	s, err = decodeCtlShape(f[1:13])
+	if err != nil {
+		return shape{}, 0, 0, fmt.Errorf("tripletpool: RESUME frame: %w", err)
+	}
+	from = binary.LittleEndian.Uint64(f[13:21])
+	count = int(binary.LittleEndian.Uint32(f[21:25]))
+	if count < 0 {
+		return shape{}, 0, 0, fmt.Errorf("tripletpool: RESUME frame with negative count %d", count)
+	}
+	return s, from, count, nil
+}
+
+// decodeCtlShape validates the 12-byte shape block shared by WANT and
+// RESUME frames.
+func decodeCtlShape(b []byte) (shape, error) {
+	s := shape{
+		M: int(binary.LittleEndian.Uint32(b[0:4])),
+		K: int(binary.LittleEndian.Uint32(b[4:8])),
+		N: int(binary.LittleEndian.Uint32(b[8:12])),
+	}
+	if s.M <= 0 || s.K <= 0 || s.N <= 0 {
+		return shape{}, fmt.Errorf("degenerate shape %dx%dx%d", s.M, s.K, s.N)
+	}
+	return s, nil
 }
 
 // feedHeaderBytes prefixes a FEED frame: shape dimensions plus the

@@ -1,0 +1,68 @@
+package tripletpool
+
+import (
+	"bytes"
+	"testing"
+
+	"parsecureml/internal/mpc"
+	"parsecureml/internal/rng"
+)
+
+// FuzzDealerProto throws arbitrary bytes at every dealer-protocol frame
+// decoder — hello, WANT, RESUME, FEED. The decoders guard the dealer
+// and the replicas against each other: a malformed or hostile frame
+// must come back as an error, never a panic, and whatever a decoder
+// does accept must re-encode to the same bytes (ctl frames are
+// fixed-layout) or survive a second decode unchanged (FEED frames,
+// whose matrix payloads have more than one wire form).
+func FuzzDealerProto(f *testing.F) {
+	p := rng.NewPool(7)
+	t0, _ := mpc.GenGemmTripletShares(p, 2, 3, 2)
+	f.Add(encodeDealerHello(1, 42))
+	f.Add(encodeWant(shape{M: 5, K: 6, N: 4}, 8))
+	f.Add(encodeResume(shape{M: 5, K: 6, N: 4}, 97, 3))
+	f.Add(appendFeedFrame(nil, shape{M: 2, K: 3, N: 2}, 11, t0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if party, pairID, err := decodeDealerHello(data); err == nil {
+			if party != 0 && party != 1 {
+				t.Fatalf("hello decoded party %d", party)
+			}
+			if !bytes.Equal(encodeDealerHello(party, pairID), data) {
+				t.Fatal("hello did not re-encode to its own bytes")
+			}
+		}
+		if s, count, err := decodeWant(data); err == nil {
+			if s.M <= 0 || s.K <= 0 || s.N <= 0 || count <= 0 {
+				t.Fatalf("WANT decoded degenerate %dx%dx%d count %d", s.M, s.K, s.N, count)
+			}
+			if !bytes.Equal(encodeWant(s, count), data) {
+				t.Fatal("WANT did not re-encode to its own bytes")
+			}
+		}
+		if s, from, count, err := decodeResume(data); err == nil {
+			if s.M <= 0 || s.K <= 0 || s.N <= 0 || count < 0 {
+				t.Fatalf("RESUME decoded degenerate %dx%dx%d count %d", s.M, s.K, s.N, count)
+			}
+			if !bytes.Equal(encodeResume(s, from, count), data) {
+				t.Fatal("RESUME did not re-encode to its own bytes")
+			}
+		}
+		if s, seq, tr, err := decodeFeedFrame(data); err == nil {
+			if tr.U.Rows != s.M || tr.U.Cols != s.K ||
+				tr.V.Rows != s.K || tr.V.Cols != s.N ||
+				tr.Z.Rows != s.M || tr.Z.Cols != s.N {
+				t.Fatalf("FEED accepted geometry off its %dx%dx%d header", s.M, s.K, s.N)
+			}
+			// The payload may arrive in any matrix wire form; a re-encoded
+			// frame must decode back to the identical triplet.
+			s2, seq2, tr2, err := decodeFeedFrame(appendFeedFrame(nil, s, seq, tr))
+			if err != nil {
+				t.Fatalf("re-encoded FEED frame rejected: %v", err)
+			}
+			if s2 != s || seq2 != seq ||
+				!tr2.U.ApproxEqual(tr.U, 0) || !tr2.V.ApproxEqual(tr.V, 0) || !tr2.Z.ApproxEqual(tr.Z, 0) {
+				t.Fatal("FEED frame did not survive a decode/encode/decode cycle")
+			}
+		}
+	})
+}

@@ -94,20 +94,12 @@ func TestDealerFedServingBitIdentical(t *testing.T) {
 		PeerTimeout:   10 * time.Second,
 	}
 	cfg0, cfg1 := serveCfg, serveCfg
-	dc0, err := comm.DialRetry(addr, comm.RetryConfig{Attempts: 10, BaseDelay: 10 * time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
-	feed0, err := NewDealerClient(dc0, 0, 1, FeedConfig{})
+	feed0, err := NewDealerClient(feedConnect(addr), 0, 1, FeedConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer feed0.Close()
-	dc1, err := comm.DialRetry(addr, comm.RetryConfig{Attempts: 10, BaseDelay: 10 * time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
-	feed1, err := NewDealerClient(dc1, 1, 1, FeedConfig{})
+	feed1, err := NewDealerClient(feedConnect(addr), 1, 1, FeedConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,11 +169,7 @@ func TestDealerFedServingConcurrentSessions(t *testing.T) {
 	}
 	cfg0, cfg1 := serveCfg, serveCfg
 	for party, into := range []*mpc.ServeConfig{&cfg0, &cfg1} {
-		dc, err := comm.DialRetry(addr, comm.RetryConfig{Attempts: 10, BaseDelay: 10 * time.Millisecond})
-		if err != nil {
-			t.Fatal(err)
-		}
-		feed, err := NewDealerClient(dc, party, 1, FeedConfig{Depth: 32})
+		feed, err := NewDealerClient(feedConnect(addr), party, 1, FeedConfig{Depth: 32})
 		if err != nil {
 			t.Fatal(err)
 		}

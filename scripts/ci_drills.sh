@@ -12,6 +12,7 @@
 #   checkpoint   kill-and-resume training: resumed run byte-identical
 #   fleet        multi-process router+dealer fleet, one pair SIGKILLed
 #   transformer  secure attention block: wire path vs plaintext, batched+codec
+#   dealer-chaos dealer SIGKILLed mid-run and restarted; resumed streams bit-identical
 #
 # PSML_DRILL_SCALE (default 1) multiplies the stress: go-test drills run
 # -count=$SCALE, the fleet drill runs 64*$SCALE sessions. Nightly sets 4.
@@ -75,8 +76,15 @@ transformer)
   drill_test ./internal/mpc/ 'TestWireTransformerMatchesPlain|TestWireAttentionOnlyMatchesPlain|TestWireTransformerBatchedCodecStable'
   drill_test ./internal/secureml/ 'TestSecureTransformer|TestSecureAttentionForwardMatchesPlaintext|TestTransformerCheckpointRoundTrip'
   ;;
+dealer-chaos)
+  # The trusted dealer is SIGKILLed while 64 sessions consume its
+  # triplet streams, then restarted with the same seed; the replicas'
+  # RESUME cursors must re-position the deterministic streams so every
+  # session stays bit-identical to the uninterrupted reference.
+  SESSIONS=$((64 * SCALE)) scripts/dealer_chaos_drill.sh -race
+  ;;
 *)
-  echo "usage: $0 {concurrent|batching|chaos-link|codec|checkpoint|fleet|transformer}" >&2
+  echo "usage: $0 {concurrent|batching|chaos-link|codec|checkpoint|fleet|transformer|dealer-chaos}" >&2
   exit 2
   ;;
 esac
